@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures in quick
+mode (40k-task traces, sparse sweeps) so the whole suite completes in
+minutes. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Use ``python -m repro.evalx <id>`` for full-length regenerations.
+"""
+
+import os
+
+# Benchmarks must be reproducible and self-contained: keep the on-disk
+# trace cache out of the picture unless the user opted in.
+os.environ.setdefault("REPRO_CACHE_DIR", "off")

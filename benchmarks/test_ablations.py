@@ -1,0 +1,119 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each bench runs the two sides of a design decision on the same workload
+and records both miss rates in ``extra_info``, so the regenerated output
+shows the effect size alongside the timing.
+"""
+
+from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.sim.functional import simulate_exit_prediction
+from repro.synth.workloads import load_workload
+
+_TASKS = 60_000
+
+
+def _gcc():
+    return load_workload("gcc", n_tasks=_TASKS)
+
+
+def test_ablation_single_exit_optimisation(benchmark):
+    """§6.1: skipping PHT updates for single-exit tasks reduces aliasing."""
+    workload = _gcc()
+    spec = DolcSpec.parse("6-5-8-9(3)")
+
+    def run():
+        optimised = simulate_exit_prediction(
+            workload, PathExitPredictor(spec)
+        )
+        unoptimised = simulate_exit_prediction(
+            workload, PathExitPredictor(spec, update_on_single_exit=True)
+        )
+        return optimised, unoptimised
+
+    optimised, unoptimised = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["miss_with_optimisation"] = optimised.miss_rate
+    benchmark.extra_info["miss_without"] = unoptimised.miss_rate
+    benchmark.extra_info["states_with"] = optimised.states_touched
+    benchmark.extra_info["states_without"] = unoptimised.states_touched
+    # Skipping single-exit updates must not cost accuracy.
+    assert optimised.miss_rate <= unoptimised.miss_rate + 0.01
+
+
+def test_ablation_folding_vs_truncation(benchmark):
+    """§6.1: folding a wide intermediate index beats truncating to fit.
+
+    Both configurations are depth-6 with a 14-bit final index; the folded
+    one concatenates 42 bits and XOR-folds, the truncated one only ever
+    captures 14 bits of path information.
+    """
+    workload = _gcc()
+    folded_spec = DolcSpec.parse("6-5-8-9(3)")
+    truncated_spec = DolcSpec.parse("6-2-2-2(1)")  # 14 bits, no folding
+
+    def run():
+        folded = simulate_exit_prediction(
+            workload, PathExitPredictor(folded_spec)
+        )
+        truncated = simulate_exit_prediction(
+            workload, PathExitPredictor(truncated_spec)
+        )
+        return folded, truncated
+
+    folded, truncated = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["miss_folded"] = folded.miss_rate
+    benchmark.extra_info["miss_truncated"] = truncated.miss_rate
+    assert folded.miss_rate <= truncated.miss_rate + 0.02
+
+
+def test_ablation_dolc_taper(benchmark):
+    """§6.1: older tasks should contribute fewer bits than recent ones.
+
+    Compares the tapered allocation (O=5 < L=8 < C=9) against a uniform
+    one (6 bits from every task) at the same depth and index width.
+    """
+    workload = _gcc()
+    tapered_spec = DolcSpec.parse("6-5-8-9(3)")
+    uniform_spec = DolcSpec.parse("6-6-6-6(3)")
+
+    def run():
+        tapered = simulate_exit_prediction(
+            workload, PathExitPredictor(tapered_spec)
+        )
+        uniform = simulate_exit_prediction(
+            workload, PathExitPredictor(uniform_spec)
+        )
+        return tapered, uniform
+
+    tapered, uniform = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["miss_tapered"] = tapered.miss_rate
+    benchmark.extra_info["miss_uniform"] = uniform.miss_rate
+    # The heuristic should not lose; allow noise either way but record it.
+    assert abs(tapered.miss_rate - uniform.miss_rate) < 0.05
+
+
+def test_ablation_dependence_aware_timing(benchmark):
+    """Timing model fidelity knob: uniform forwarding stalls vs stalls only
+    between register-dependent task pairs (create/use mask intersection)."""
+    from repro.predictors.task_predictor import PerfectTaskPredictor
+    from repro.sim.timing import TimingConfig, simulate_timing
+
+    workload = load_workload("gcc", n_tasks=_TASKS)
+
+    def run():
+        uniform = simulate_timing(
+            workload,
+            PerfectTaskPredictor(workload.trace),
+            config=TimingConfig(dependence_aware=False),
+        )
+        aware = simulate_timing(
+            workload,
+            PerfectTaskPredictor(workload.trace),
+            config=TimingConfig(dependence_aware=True),
+        )
+        return uniform, aware
+
+    uniform, aware = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ipc_uniform"] = uniform.ipc
+    benchmark.extra_info["ipc_dependence_aware"] = aware.ipc
+    assert aware.ipc >= uniform.ipc

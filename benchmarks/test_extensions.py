@@ -1,0 +1,101 @@
+"""Benchmarks for the beyond-paper extension studies."""
+
+from repro.evalx.registry import run_experiment
+
+
+def _once(benchmark, experiment_id):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"quick": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == experiment_id
+    return result
+
+
+def test_ext_repair_policies(benchmark):
+    """History repair policies under wrong-path pollution (§3.1 relaxed)."""
+    result = _once(benchmark, "ext_repair")
+    series = result.data["series"]
+    benchmark.extra_info["gcc_perfect"] = series["speculative/perfect"][0]
+    benchmark.extra_info["gcc_none"] = series["speculative/none"][0]
+
+
+def test_ext_ras_depth_sweep(benchmark):
+    """Return-address-stack depth sweep (§4.2's 'reasonably deep')."""
+    result = _once(benchmark, "ext_ras")
+    assert min(result.data["depths"]) >= 1
+
+
+def test_ext_cttb_size_sweep(benchmark):
+    """CTTB storage sweep for indirect targets (§6.4.1)."""
+    result = _once(benchmark, "ext_cttb")
+    assert len(result.data["widths"]) >= 3
+
+
+def test_ext_hybrid_tournament(benchmark):
+    """Tournament PATH+PER predictor vs its components."""
+    result = _once(benchmark, "ext_hybrid")
+    series = result.data["series"]
+    benchmark.extra_info["sc_path"] = series["PATH"][3]
+    benchmark.extra_info["sc_hybrid"] = series["tournament"][3]
+
+
+def test_ext_confidence_estimation(benchmark):
+    """Resetting-counter confidence estimator quality metrics."""
+    result = _once(benchmark, "ext_confidence")
+    for row in result.data.values():
+        assert row["high_accuracy"] >= 0.8
+
+
+def test_ext_tasksize_granularity(benchmark):
+    """Task granularity vs predictability (the §3.2 compiler dependence)."""
+    result = _once(benchmark, "ext_tasksize")
+    for by_cap in result.data.values():
+        caps = sorted(by_cap)
+        assert by_cap[caps[0]]["static_tasks"] >= by_cap[caps[-1]][
+            "static_tasks"
+        ]
+
+
+def test_ext_dominance_real_path_vs_ideal(benchmark):
+    """§6.3: real 8KB PATH vs ideal GLOBAL/PER at depth 7."""
+    result = _once(benchmark, "ext_dominance")
+    wins = sum(
+        1
+        for row in result.data.values()
+        if row["real_path"] <= row["ideal_global"] + 0.002
+    )
+    benchmark.extra_info["beats_ideal_global_on"] = wins
+    assert wins >= 3
+
+
+def test_ext_static_hints(benchmark):
+    """Profile-guided static hints vs dynamic prediction."""
+    result = _once(benchmark, "ext_static")
+    for row in result.data.values():
+        assert row["path"] <= row["static"] + 0.005
+
+
+def test_ext_seed_robustness(benchmark):
+    """Headline orderings re-measured under alternative generator seeds."""
+    result = _once(benchmark, "ext_seeds")
+    holds = sum(
+        1
+        for by_seed in result.data.values()
+        for point in by_seed.values()
+        if point["path"] <= point["global"] + 0.003
+    )
+    total = sum(len(by_seed) for by_seed in result.data.values())
+    benchmark.extra_info["path_beats_global"] = f"{holds}/{total}"
+    assert holds >= int(0.7 * total)
+
+
+def test_ext_gating_speculation_control(benchmark):
+    """Confidence-gated speculation: the recovery-cost crossover."""
+    result = _once(benchmark, "ext_gating")
+    gcc = result.data["gcc"]
+    benchmark.extra_info["gcc_cheap_ungated"] = gcc["penalty3"]["ungated"]
+    benchmark.extra_info["gcc_costly_ungated"] = gcc["penalty40"]["ungated"]

@@ -1,0 +1,63 @@
+"""Benchmarks regenerating the paper's figures (3, 4, 6, 7, 8, 10, 11, 12)."""
+
+from repro.evalx.registry import run_experiment
+
+
+def _once(benchmark, experiment_id):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"quick": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == experiment_id
+    return result
+
+
+def test_figure3_exits_per_task(benchmark):
+    """Figure 3: distribution of exits per task, static and dynamic."""
+    result = _once(benchmark, "figure3")
+    assert "average" in result.data
+
+
+def test_figure4_exit_types(benchmark):
+    """Figure 4: exit-type mix, static and dynamic."""
+    result = _once(benchmark, "figure4")
+    assert result.data["gcc"]["dynamic"]["branch"] > 0.2
+
+
+def test_figure6_automata(benchmark):
+    """Figure 6: seven prediction automata on gcc."""
+    result = _once(benchmark, "figure6")
+    assert len(result.data["series"]) == 7
+
+
+def test_figure7_ideal_histories(benchmark):
+    """Figure 7: ideal GLOBAL/PATH/PER per benchmark."""
+    result = _once(benchmark, "figure7")
+    assert set(result.data["gcc"]) == {"global", "path", "per"}
+
+
+def test_figure8_ideal_cttb(benchmark):
+    """Figure 8: ideal CTTB on gcc and xlisp, plus infinite-TTB baseline."""
+    result = _once(benchmark, "figure8")
+    assert result.data["gcc"]["indirect_exits"] > 0
+
+
+def test_figure10_real_vs_ideal_exit(benchmark):
+    """Figure 10: real 8KB path predictors vs ideal."""
+    result = _once(benchmark, "figure10")
+    assert len(result.data["configs"]) >= 4
+
+
+def test_figure11_states_touched(benchmark):
+    """Figure 11: PHT states touched, ideal vs real."""
+    result = _once(benchmark, "figure11")
+    assert result.data["gcc"]["ideal"][-1] > 0
+
+
+def test_figure12_real_vs_ideal_cttb(benchmark):
+    """Figure 12: real 8KB CTTB vs ideal on gcc and xlisp."""
+    result = _once(benchmark, "figure12")
+    assert set(result.data) >= {"gcc", "xlisp"}

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the hot components (throughput measurements)."""
+
+from repro.predictors.automata import LastExitHysteresis
+from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.synth.executor import TraceExecutor
+from repro.synth.workloads import build_program, load_workload
+
+
+def test_dolc_index_throughput(benchmark):
+    """D-O-L-C index computation rate (the predictor's hot path)."""
+    spec = DolcSpec.parse("6-5-8-9(3)")
+    path = [0x1000 + 4 * i for i in range(7)]
+
+    def index_many():
+        total = 0
+        for addr in range(0x2000, 0x2000 + 4 * 256, 4):
+            total += spec.index(addr, path)
+        return total
+
+    benchmark(index_many)
+
+
+def test_leh2_automaton_throughput(benchmark):
+    """LEH-2 predict/update rate."""
+    automaton = LastExitHysteresis(2)
+
+    def train():
+        for i in range(1000):
+            automaton.predict()
+            automaton.update(i & 3)
+
+    benchmark(train)
+
+
+def test_executor_throughput(benchmark):
+    """Trace generation rate (records per second) for compress."""
+    compiled = build_program("compress")
+
+    def run():
+        return TraceExecutor(compiled, seed=1).run(5000)
+
+    trace = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(trace) == 5000
+
+
+def test_exit_prediction_throughput(benchmark):
+    """Full exit-prediction simulation rate on a 20k-task gcc trace."""
+    from repro.sim.functional import simulate_exit_prediction
+
+    workload = load_workload("gcc", n_tasks=20_000)
+    predictor_spec = DolcSpec.parse("6-5-8-9(3)")
+
+    def run():
+        return simulate_exit_prediction(
+            workload, PathExitPredictor(predictor_spec)
+        )
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.trials == 20_000

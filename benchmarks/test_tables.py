@@ -1,0 +1,37 @@
+"""Benchmarks regenerating the paper's tables (2, 3 and 4)."""
+
+from repro.evalx.registry import run_experiment
+
+
+def _once(benchmark, experiment_id):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"quick": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == experiment_id
+    return result
+
+
+def test_table2_benchmark_characteristics(benchmark):
+    """Table 2: static/dynamic/distinct task counts for all benchmarks."""
+    result = _once(benchmark, "table2")
+    assert set(result.data) == {
+        "gcc", "compress", "espresso", "sc", "xlisp",
+    }
+
+
+def test_table3_cttb_only_vs_exit_predictor(benchmark):
+    """Table 3: CTTB-only vs exit predictor + RAS + CTTB miss rates."""
+    result = _once(benchmark, "table3")
+    for row in result.data.values():
+        assert 0.0 <= row["cttb_only_miss"] <= 1.0
+
+
+def test_table4_ipc(benchmark):
+    """Table 4: IPC per prediction scheme from the timing simulator."""
+    result = _once(benchmark, "table4")
+    for ipcs in result.data.values():
+        assert ipcs["Perfect"] >= ipcs["Simple"] - 1e-9

@@ -1,0 +1,55 @@
+"""Design-space exploration: automata x index constructions x benchmarks.
+
+Answers the practical question a microarchitect would ask of this library:
+for a fixed 8KB prediction budget, which automaton and which D-O-L-C(F)
+index construction give the best task-prediction accuracy on my workload?
+
+Run:  python examples/predictor_design_space.py [benchmark ...]
+"""
+
+import sys
+
+from repro import load_workload
+from repro.evalx.report import format_percent, render_table
+from repro.predictors import DolcSpec, PathExitPredictor
+from repro.predictors.automata import make_automaton_factory
+from repro.sim import simulate_exit_prediction
+from repro.utils.rng import DeterministicRng
+
+AUTOMATA = ("LE", "LEH-1", "LEH-2", "VC2-MRU", "VC3-MRU")
+CONFIGS = ("0-0-0-14(1)", "2-4-5-5(1)", "4-5-6-7(2)", "6-5-8-9(3)")
+TRACE_LENGTH = 60_000
+
+
+def explore(benchmark: str) -> None:
+    workload = load_workload(benchmark, n_tasks=TRACE_LENGTH)
+    rows = []
+    best = (1.0, "")
+    for config in CONFIGS:
+        spec = DolcSpec.parse(config)
+        row = [config]
+        for automaton in AUTOMATA:
+            rng = DeterministicRng(0).fork(f"{config}:{automaton}")
+            predictor = PathExitPredictor(
+                spec, automaton=make_automaton_factory(automaton, rng)
+            )
+            stats = simulate_exit_prediction(workload, predictor)
+            row.append(format_percent(stats.miss_rate))
+            if stats.miss_rate < best[0]:
+                best = (stats.miss_rate, f"{config} + {automaton}")
+        rows.append(row)
+    print(render_table(
+        ["DOLC (F)", *AUTOMATA], rows,
+        title=f"{benchmark}: exit miss rate, 8KB PHT",
+    ))
+    print(f"best: {best[1]} at {format_percent(best[0])}\n")
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or ["gcc", "xlisp"]
+    for benchmark in benchmarks:
+        explore(benchmark)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Timing study: how task prediction accuracy buys IPC.
+
+Runs the task-granularity Multiscalar timing model (4 processing units,
+2-way issue) under four prediction schemes plus the perfect-prediction
+bound, then sweeps the number of processing units to show where prediction
+accuracy starts limiting scaling — the paper's Table 4 plus an extension.
+
+Run:  python examples/timing_ipc.py
+"""
+
+from repro import load_workload
+from repro.evalx.experiments.table4 import SCHEMES, _make_predictor
+from repro.evalx.report import render_table
+from repro.sim import TimingConfig, simulate_timing
+
+TRACE_LENGTH = 60_000
+
+
+def scheme_comparison(name: str) -> None:
+    workload = load_workload(name, n_tasks=TRACE_LENGTH)
+    rows = []
+    for scheme in SCHEMES:
+        predictor = _make_predictor(scheme, workload)
+        result = simulate_timing(workload, predictor)
+        rows.append([
+            scheme,
+            f"{result.ipc:.2f}",
+            f"{result.task_mispredict_rate:.2%}",
+            result.cycles,
+        ])
+    print(render_table(
+        ["scheme", "IPC", "task mispredict rate", "cycles"],
+        rows,
+        title=f"{name}: 4 units x 2-way, depth-7 history, 16KB PHT",
+    ))
+    print()
+
+
+def unit_scaling(name: str) -> None:
+    workload = load_workload(name, n_tasks=TRACE_LENGTH)
+    rows = []
+    for n_units in (1, 2, 4, 8):
+        config = TimingConfig(n_units=n_units)
+        path = simulate_timing(
+            workload, _make_predictor("PATH", workload), config=config
+        )
+        perfect = simulate_timing(
+            workload, _make_predictor("Perfect", workload), config=config
+        )
+        efficiency = path.ipc / perfect.ipc
+        rows.append([
+            n_units,
+            f"{path.ipc:.2f}",
+            f"{perfect.ipc:.2f}",
+            f"{efficiency:.1%}",
+        ])
+    print(render_table(
+        ["units", "PATH IPC", "Perfect IPC", "PATH/Perfect"],
+        rows,
+        title=f"{name}: ring scaling (prediction-limited above ~4 units)",
+    ))
+    print()
+
+
+def main() -> None:
+    for name in ("gcc", "xlisp"):
+        scheme_comparison(name)
+    unit_scaling("gcc")
+
+
+if __name__ == "__main__":
+    main()

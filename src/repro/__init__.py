@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Control Flow Speculation in Multiscalar
+Processors" (Jacobson, Bennett, Sharma & Smith, HPCA 1997).
+
+The package implements the paper's inter-task prediction mechanisms
+(prediction automata, history generation, path-based DOLC index folding, the
+correlated task target buffer) together with every substrate they need: the
+Multiscalar ISA/task model, a task-partitioning compiler, synthetic SPEC92
+stand-in workloads, and functional + timing simulators.
+
+Quick start::
+
+    from repro import load_workload
+    from repro.predictors import PathExitPredictor, DolcSpec
+    from repro.sim import simulate_exit_prediction
+
+    workload = load_workload("gcc", n_tasks=50_000)
+    predictor = PathExitPredictor(DolcSpec.parse("6-5-8-9(3)"))
+    stats = simulate_exit_prediction(workload, predictor)
+    print(f"exit miss rate: {stats.exit_miss_rate:.2%}")
+"""
+
+from repro.isa import (
+    ControlFlowType,
+    MultiscalarProgram,
+    StaticTask,
+    TaskExit,
+    TaskFlowGraph,
+    TaskHeader,
+)
+from repro.synth import (
+    BenchmarkProfile,
+    PROFILES,
+    TaskTrace,
+    Workload,
+    load_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControlFlowType",
+    "MultiscalarProgram",
+    "StaticTask",
+    "TaskExit",
+    "TaskHeader",
+    "TaskFlowGraph",
+    "BenchmarkProfile",
+    "PROFILES",
+    "TaskTrace",
+    "Workload",
+    "load_workload",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Control-flow-graph substrate.
+
+Scalar-level program representation: functions made of basic blocks with
+typed terminators. The Multiscalar "compiler" (:mod:`repro.compiler`)
+partitions these CFGs into tasks. The synthetic workload generator
+(:mod:`repro.synth`) produces these CFGs with attached runtime behaviours.
+"""
+
+from repro.cfg.basicblock import BasicBlock, Terminator, TerminatorKind
+from repro.cfg.graph import ControlFlowGraph, FunctionRef, ProgramCFG
+from repro.cfg.analysis import back_edges, reachable_blocks
+
+__all__ = [
+    "BasicBlock",
+    "Terminator",
+    "TerminatorKind",
+    "ControlFlowGraph",
+    "FunctionRef",
+    "ProgramCFG",
+    "back_edges",
+    "reachable_blocks",
+]

@@ -1,0 +1,56 @@
+"""CFG analyses used by the task partitioner: reachability and back edges."""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+def reachable_blocks(cfg: ControlFlowGraph) -> set[str]:
+    """Labels of all blocks reachable from the function entry.
+
+    Call terminators follow their intra-function return point (the callee is
+    a different function and not part of this CFG).
+    """
+    seen: set[str] = set()
+    stack = [cfg.entry_label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        for successor in cfg.intra_successors(label):
+            if successor not in seen:
+                stack.append(successor)
+    return seen
+
+
+def back_edges(cfg: ControlFlowGraph) -> set[tuple[str, str]]:
+    """Intra-function arcs (source, target) that close a cycle.
+
+    Computed with an iterative DFS from the entry; an arc to a block still on
+    the DFS stack is a back edge. The partitioner uses these to recognise
+    loops (so a small loop body can become a single self-looping task, like
+    Task 3 in Figure 1 of the paper).
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {label: WHITE for label in cfg.labels()}
+    edges: set[tuple[str, str]] = set()
+    # Each stack entry is (label, iterator over successors).
+    stack: list[tuple[str, list[str]]] = []
+    color[cfg.entry_label] = GRAY
+    stack.append((cfg.entry_label, list(cfg.intra_successors(cfg.entry_label))))
+    while stack:
+        label, successors = stack[-1]
+        if successors:
+            successor = successors.pop()
+            if color[successor] == GRAY:
+                edges.add((label, successor))
+            elif color[successor] == WHITE:
+                color[successor] = GRAY
+                stack.append(
+                    (successor, list(cfg.intra_successors(successor)))
+                )
+        else:
+            color[label] = BLACK
+            stack.pop()
+    return edges

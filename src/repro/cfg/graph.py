@@ -1,0 +1,149 @@
+"""Per-function control-flow graphs and whole-program collections of them."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.cfg.basicblock import BasicBlock, TerminatorKind
+from repro.errors import CFGError
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A reference to a function by name (used by call terminators)."""
+
+    name: str
+
+
+class ControlFlowGraph:
+    """The CFG of a single function: blocks keyed by label, one entry."""
+
+    def __init__(self, function_name: str, entry_label: str) -> None:
+        self.function_name = function_name
+        self.entry_label = entry_label
+        self._blocks: dict[str, BasicBlock] = {}
+
+    def add_block(self, block: BasicBlock) -> None:
+        """Add a block; labels must be unique within the function."""
+        if block.label in self._blocks:
+            raise CFGError(
+                f"duplicate block {block.label!r} in {self.function_name!r}"
+            )
+        self._blocks[block.label] = block
+
+    def block(self, label: str) -> BasicBlock:
+        """Return the block with the given label."""
+        try:
+            return self._blocks[label]
+        except KeyError:
+            raise CFGError(
+                f"no block {label!r} in function {self.function_name!r}"
+            ) from None
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self._blocks.values())
+
+    def labels(self) -> list[str]:
+        """All block labels in insertion order."""
+        return list(self._blocks)
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The function's entry block."""
+        return self.block(self.entry_label)
+
+    def intra_successors(self, label: str) -> tuple[str, ...]:
+        """Labels of this block's successors *within the function*.
+
+        For calls this is the return point; RETURN blocks have none.
+        """
+        return self.block(label).terminator.successors
+
+    def predecessor_counts(self) -> dict[str, int]:
+        """Number of intra-function predecessor arcs per block label."""
+        counts = {label: 0 for label in self._blocks}
+        for block in self:
+            for successor in block.terminator.successors:
+                if successor not in counts:
+                    raise CFGError(
+                        f"block {block.label!r} targets unknown block "
+                        f"{successor!r} in {self.function_name!r}"
+                    )
+                counts[successor] += 1
+        return counts
+
+    def validate(self) -> None:
+        """Check structural invariants: entry exists, arcs resolve, has return.
+
+        Raises :class:`CFGError` on the first violation found.
+        """
+        if self.entry_label not in self._blocks:
+            raise CFGError(
+                f"function {self.function_name!r} has no entry block "
+                f"{self.entry_label!r}"
+            )
+        self.predecessor_counts()  # raises on dangling arcs
+        has_return = any(
+            block.terminator.kind is TerminatorKind.RETURN for block in self
+        )
+        if not has_return:
+            raise CFGError(
+                f"function {self.function_name!r} has no RETURN block"
+            )
+
+
+class ProgramCFG:
+    """All functions of a program, keyed by name, plus the main entry."""
+
+    def __init__(self, main: str = "main") -> None:
+        self.main = main
+        self._functions: dict[str, ControlFlowGraph] = {}
+
+    def add_function(self, cfg: ControlFlowGraph) -> None:
+        """Add a function CFG; names must be unique."""
+        if cfg.function_name in self._functions:
+            raise CFGError(f"duplicate function {cfg.function_name!r}")
+        self._functions[cfg.function_name] = cfg
+
+    def function(self, name: str) -> ControlFlowGraph:
+        """Return the CFG of the named function."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise CFGError(f"no function named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def functions(self) -> Iterable[ControlFlowGraph]:
+        """All function CFGs in insertion order."""
+        return self._functions.values()
+
+    def validate(self) -> None:
+        """Validate every function and every cross-function call target."""
+        if self.main not in self._functions:
+            raise CFGError(f"program has no main function {self.main!r}")
+        for cfg in self.functions():
+            cfg.validate()
+            for block in cfg:
+                terminator = block.terminator
+                callees = []
+                if terminator.callee is not None:
+                    callees.append(terminator.callee)
+                callees.extend(terminator.callees)
+                for callee in callees:
+                    if callee not in self._functions:
+                        raise CFGError(
+                            f"block {block.label!r} calls unknown function "
+                            f"{callee!r}"
+                        )

@@ -1,0 +1,69 @@
+"""Natural-loop detection over function CFGs.
+
+Used for workload analysis (how loopy is a generated benchmark?) and
+available to partitioning heuristics. A *natural loop* is the set of blocks
+that can reach a back edge's source without passing through its target
+(the loop header).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.cfg.analysis import back_edges, reachable_blocks
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: its header and its body (header included)."""
+
+    header: str
+    body: frozenset[str]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+    @property
+    def size(self) -> int:
+        """Number of blocks in the loop."""
+        return len(self.body)
+
+
+def natural_loops(cfg: ControlFlowGraph) -> list[NaturalLoop]:
+    """Find all natural loops, merging loops that share a header.
+
+    Returns loops sorted by header label for determinism.
+    """
+    reachable = reachable_blocks(cfg)
+    predecessors: dict[str, list[str]] = defaultdict(list)
+    for label in reachable:
+        for successor in cfg.intra_successors(label):
+            if successor in reachable:
+                predecessors[successor].append(label)
+
+    bodies: dict[str, set[str]] = {}
+    for source, header in back_edges(cfg):
+        body = bodies.setdefault(header, {header})
+        # Walk predecessors from the back edge's source up to the header.
+        stack = [source]
+        while stack:
+            label = stack.pop()
+            if label in body:
+                continue
+            body.add(label)
+            stack.extend(predecessors[label])
+    return [
+        NaturalLoop(header=header, body=frozenset(body))
+        for header, body in sorted(bodies.items())
+    ]
+
+
+def loop_nesting_depths(cfg: ControlFlowGraph) -> dict[str, int]:
+    """Per-block loop nesting depth (0 = not inside any loop)."""
+    depths = {label: 0 for label in cfg.labels()}
+    for loop in natural_loops(cfg):
+        for label in loop.body:
+            depths[label] += 1
+    return depths

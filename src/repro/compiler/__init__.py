@@ -1,0 +1,22 @@
+"""The Multiscalar "compiler": partitions scalar CFGs into tasks.
+
+The paper's tasks are produced by the Wisconsin Multiscalar compiler from
+ordinary sequential programs. This package reproduces that role: it takes a
+:class:`repro.cfg.graph.ProgramCFG`, partitions every function into tasks
+that obey the four-exit header limit, assigns addresses, and emits both a
+:class:`repro.isa.program.MultiscalarProgram` (the static executable) and a
+:class:`CompiledProgram` (the executable plus the block-level structures the
+trace executor needs).
+"""
+
+from repro.compiler.partitioner import TaskPartitioner, PartitionConfig
+from repro.compiler.compiled import CompiledBlock, CompiledProgram
+from repro.compiler.pipeline import compile_program
+
+__all__ = [
+    "TaskPartitioner",
+    "PartitionConfig",
+    "CompiledBlock",
+    "CompiledProgram",
+    "compile_program",
+]

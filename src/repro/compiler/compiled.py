@@ -1,0 +1,73 @@
+"""Compiled-program structures shared by the compiler and the executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.basicblock import Terminator
+from repro.errors import TaskFormatError
+from repro.isa.program import MultiscalarProgram
+
+
+@dataclass
+class CompiledBlock:
+    """A basic block after task assignment and address layout.
+
+    Attributes:
+        label: Globally unique block label.
+        function: Name of the function this block belongs to.
+        address: Byte address of the block's first instruction.
+        task_address: Start address of the task containing this block.
+        instruction_count: Instructions retired when the block executes.
+        terminator: The block's terminator (with behaviours attached).
+        successor_exit_index: For JUMP/COND_BRANCH terminators, one entry per
+            successor arc: the task-header exit index if the arc leaves the
+            task, or ``None`` for an internal arc.
+        terminator_exit_index: For CALL/RETURN/INDIRECT_* terminators, the
+            task-header exit index of the transfer (always an exit).
+        is_internal_branch: True for conditional branches resolved entirely
+            inside the task (both arcs internal) — these are the branches
+            intra-task speculation predicts.
+    """
+
+    label: str
+    function: str
+    address: int
+    task_address: int
+    instruction_count: int
+    terminator: Terminator
+    successor_exit_index: tuple[int | None, ...] = ()
+    terminator_exit_index: int | None = None
+    is_internal_branch: bool = False
+
+
+@dataclass
+class CompiledProgram:
+    """A Multiscalar executable plus the block-level map for execution.
+
+    Attributes:
+        program: The static executable (tasks, headers, TFG).
+        blocks: All compiled blocks, keyed by globally unique label.
+        function_entry: Function name -> entry block label.
+        task_leader: Task start address -> leader block label.
+    """
+
+    program: MultiscalarProgram
+    blocks: dict[str, CompiledBlock]
+    function_entry: dict[str, str]
+    task_leader: dict[int, str] = field(default_factory=dict)
+
+    def entry_block(self, function: str) -> CompiledBlock:
+        """Return the compiled entry block of ``function``."""
+        try:
+            label = self.function_entry[function]
+        except KeyError:
+            raise TaskFormatError(f"no compiled function {function!r}") from None
+        return self.blocks[label]
+
+    def block(self, label: str) -> CompiledBlock:
+        """Return the compiled block with the given label."""
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise TaskFormatError(f"no compiled block {label!r}") from None

@@ -1,0 +1,229 @@
+"""The compile pipeline: ProgramCFG -> partition -> layout -> CompiledProgram.
+
+Two passes, like any assembler: the first pass partitions every function and
+assigns byte addresses to blocks (4 bytes per instruction); the second builds
+task headers, which need the task addresses of exit targets, callee entries
+and return points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.basicblock import TerminatorKind
+from repro.cfg.graph import ControlFlowGraph, ProgramCFG
+from repro.compiler.compiled import CompiledBlock, CompiledProgram
+from repro.compiler.partitioner import (
+    PartitionConfig,
+    Region,
+    TaskPartitioner,
+)
+from repro.errors import PartitionError
+from repro.isa.controlflow import ControlFlowType
+from repro.isa.program import MultiscalarProgram
+from repro.isa.task import StaticTask, TaskExit, TaskHeader
+
+_BYTES_PER_INSTRUCTION = 4
+
+
+@dataclass
+class _LaidOutFunction:
+    """Partitioned function with block addresses assigned."""
+
+    cfg: ControlFlowGraph
+    regions: list[Region]
+    block_address: dict[str, int]
+
+
+def compile_program(
+    program_cfg: ProgramCFG,
+    name: str = "program",
+    config: PartitionConfig | None = None,
+) -> CompiledProgram:
+    """Compile a scalar program CFG into a Multiscalar executable.
+
+    Block labels must be globally unique across functions (the synthetic
+    generator prefixes labels with the function name).
+    """
+    config = config or PartitionConfig()
+    program_cfg.validate()
+
+    laid_out, block_address = _layout(program_cfg, config)
+    function_entry_task = {
+        fn.cfg.function_name: block_address[fn.cfg.entry_label]
+        for fn in laid_out
+    }
+
+    tasks: list[StaticTask] = []
+    blocks: dict[str, CompiledBlock] = {}
+    task_leader: dict[int, str] = {}
+    for laid in laid_out:
+        for region in laid.regions:
+            task = _build_task(
+                laid, region, block_address, function_entry_task
+            )
+            tasks.append(task)
+            task_leader[task.address] = region.leader
+            _compile_region_blocks(
+                laid, region, task, block_address, blocks
+            )
+
+    entry = function_entry_task[program_cfg.main]
+    executable = MultiscalarProgram(name=name, tasks=tasks, entry=entry)
+    executable.tfg.validate()
+    return CompiledProgram(
+        program=executable,
+        blocks=blocks,
+        function_entry={
+            fn.cfg.function_name: fn.cfg.entry_label for fn in laid_out
+        },
+        task_leader=task_leader,
+    )
+
+
+def _layout(
+    program_cfg: ProgramCFG, config: PartitionConfig
+) -> tuple[list[_LaidOutFunction], dict[str, int]]:
+    """Partition all functions and assign global block addresses."""
+    laid_out: list[_LaidOutFunction] = []
+    block_address: dict[str, int] = {}
+    cursor = 0x1000  # leave a null page, as a linker would
+    for cfg in program_cfg.functions():
+        regions = TaskPartitioner(cfg, config).partition()
+        addresses: dict[str, int] = {}
+        for region in regions:
+            for label in region.blocks:
+                if label in block_address:
+                    raise PartitionError(
+                        f"block label {label!r} is not globally unique"
+                    )
+                addresses[label] = cursor
+                block_address[label] = cursor
+                cursor += (
+                    cfg.block(label).instruction_count
+                    * _BYTES_PER_INSTRUCTION
+                )
+        laid_out.append(
+            _LaidOutFunction(
+                cfg=cfg, regions=regions, block_address=addresses
+            )
+        )
+    return laid_out, block_address
+
+
+def _build_task(
+    laid: _LaidOutFunction,
+    region: Region,
+    block_address: dict[str, int],
+    function_entry_task: dict[str, int],
+) -> StaticTask:
+    """Create the StaticTask (header included) for one region."""
+    cfg = laid.cfg
+    exits: list[TaskExit] = []
+    for descriptor in region.exit_descriptors:
+        kind = descriptor[0]
+        if kind == "branch":
+            exits.append(
+                TaskExit(
+                    cf_type=ControlFlowType.BRANCH,
+                    target=block_address[descriptor[1]],
+                )
+            )
+        elif kind == "call":
+            _, callee, return_label = descriptor
+            exits.append(
+                TaskExit(
+                    cf_type=ControlFlowType.CALL,
+                    target=function_entry_task[callee],
+                    return_address=block_address[return_label],
+                )
+            )
+        elif kind == "return":
+            exits.append(TaskExit(cf_type=ControlFlowType.RETURN))
+        elif kind == "ibranch":
+            exits.append(TaskExit(cf_type=ControlFlowType.INDIRECT_BRANCH))
+        elif kind == "icall":
+            block = cfg.block(descriptor[1])
+            exits.append(
+                TaskExit(
+                    cf_type=ControlFlowType.INDIRECT_CALL,
+                    return_address=block_address[
+                        block.terminator.successors[0]
+                    ],
+                )
+            )
+        else:  # pragma: no cover - descriptor forms are produced above
+            raise PartitionError(f"unknown exit descriptor {descriptor!r}")
+    # The create mask unions every register any block of the task may
+    # write (paper §2.1: "which registers may have new values created
+    # within the task"); the use mask unions possible reads and feeds the
+    # dependence-aware timing model.
+    create_mask = 0
+    use_mask = 0
+    for label in region.blocks:
+        annotations = cfg.block(label).annotations
+        create_mask |= annotations.get("defs_mask", 0)
+        use_mask |= annotations.get("uses_mask", 0)
+    return StaticTask(
+        address=block_address[region.leader],
+        header=TaskHeader(
+            exits=tuple(exits), create_mask=create_mask & 0xFFFF
+        ),
+        instruction_count=sum(
+            cfg.block(label).instruction_count for label in region.blocks
+        ),
+        internal_branch_count=len(region.internal_branch_blocks),
+        use_mask=use_mask & 0xFFFF,
+        name=f"{cfg.function_name}:{region.leader}",
+    )
+
+
+def _compile_region_blocks(
+    laid: _LaidOutFunction,
+    region: Region,
+    task: StaticTask,
+    block_address: dict[str, int],
+    out: dict[str, CompiledBlock],
+) -> None:
+    """Create CompiledBlocks for one region, resolving exit indices."""
+    cfg = laid.cfg
+    descriptor_index = {
+        descriptor: index
+        for index, descriptor in enumerate(region.exit_descriptors)
+    }
+    member = set(region.blocks)
+    internal_branch = set(region.internal_branch_blocks)
+    for label in region.blocks:
+        block = cfg.block(label)
+        terminator = block.terminator
+        kind = terminator.kind
+        successor_exit_index: tuple[int | None, ...] = ()
+        terminator_exit_index: int | None = None
+        if kind is TerminatorKind.RETURN:
+            terminator_exit_index = descriptor_index[("return",)]
+        elif kind is TerminatorKind.CALL:
+            terminator_exit_index = descriptor_index[
+                ("call", terminator.callee, terminator.successors[0])
+            ]
+        elif kind is TerminatorKind.INDIRECT_JUMP:
+            terminator_exit_index = descriptor_index[("ibranch", label)]
+        elif kind is TerminatorKind.INDIRECT_CALL:
+            terminator_exit_index = descriptor_index[("icall", label)]
+        else:  # JUMP / COND_BRANCH
+            successor_exit_index = tuple(
+                descriptor_index[("branch", successor)]
+                if (successor not in member or successor == region.leader)
+                else None
+                for successor in terminator.successors
+            )
+        out[label] = CompiledBlock(
+            label=label,
+            function=cfg.function_name,
+            address=block_address[label],
+            task_address=task.address,
+            instruction_count=block.instruction_count,
+            terminator=terminator,
+            successor_exit_index=successor_exit_index,
+            terminator_exit_index=terminator_exit_index,
+            is_internal_branch=label in internal_branch,
+        )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be packed into, or unpacked from, its binary format."""
+
+
+class TaskFormatError(ReproError):
+    """A task, header, or exit violates the Multiscalar executable format."""
+
+
+class CFGError(ReproError):
+    """A control-flow graph is malformed (dangling edges, missing entry...)."""
+
+
+class PartitionError(ReproError):
+    """The task partitioner cannot produce a legal tasking of a CFG."""
+
+
+class TraceError(ReproError):
+    """A task trace is malformed or inconsistent with its program."""
+
+
+class PredictorConfigError(ReproError):
+    """A predictor was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload profile is invalid or unknown."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was invoked with bad arguments."""

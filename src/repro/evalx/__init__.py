@@ -1,0 +1,20 @@
+"""Experiment harness: one driver per table and figure of the paper.
+
+Every experiment is runnable three ways:
+
+* programmatically — ``from repro.evalx import run_experiment``;
+* from the command line — ``python -m repro.evalx figure7``;
+* as a benchmark — ``pytest benchmarks/ --benchmark-only``.
+
+Each driver returns an :class:`ExperimentResult` carrying both a rendered
+text report (the same rows/series the paper presents) and the raw numbers,
+which the test suite asserts shape properties against.
+"""
+
+from repro.evalx.registry import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENT_IDS", "ExperimentResult", "run_experiment"]

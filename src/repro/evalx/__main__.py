@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro.evalx <experiment> [...]``.
+
+Examples::
+
+    python -m repro.evalx table2
+    python -m repro.evalx figure7 --quick
+    python -m repro.evalx all --tasks 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evalx.registry import (
+    ALL_IDS,
+    EXPERIMENT_IDS,
+    EXTENSION_IDS,
+    run_experiment,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evalx",
+        description=(
+            "Regenerate tables and figures from 'Control Flow Speculation "
+            "in Multiscalar Processors' (HPCA 1997)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*ALL_IDS, "all", "extensions"),
+        help=(
+            "which table/figure to regenerate; 'all' runs every paper "
+            "experiment, 'extensions' the beyond-paper studies"
+        ),
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=None,
+        help="override the dynamic task count (trace length)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small traces and sparse sweeps, for smoke runs",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also draw ASCII line charts for figure experiments",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="append each experiment's raw data to FILE as JSON lines",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        ids = EXPERIMENT_IDS
+    elif args.experiment == "extensions":
+        ids = EXTENSION_IDS
+    else:
+        ids = (args.experiment,)
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(
+            experiment_id, n_tasks=args.tasks, quick=args.quick
+        )
+        elapsed = time.time() - started
+        print(result)
+        if args.chart:
+            from repro.evalx.charts import charts_for_result
+
+            for chart in charts_for_result(result):
+                print()
+                print(chart)
+        if args.json:
+            _append_json(args.json, result, elapsed)
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _append_json(path: str, result, elapsed: float) -> None:
+    """Append one experiment's raw data as a JSON line."""
+    import json
+
+    record = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "elapsed_seconds": round(elapsed, 2),
+        "data": result.data,
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, default=str) + "\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

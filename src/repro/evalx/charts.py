@@ -1,0 +1,126 @@
+"""ASCII line charts for experiment series.
+
+The paper presents most results as line charts of miss rate vs. history
+depth. :func:`render_chart` draws the same picture in monospace text so
+``python -m repro.evalx figure7 --chart`` can show shape at a glance
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ExperimentError
+
+#: Plot glyphs assigned to series in order.
+_GLYPHS = "*o+x#@%&"
+
+
+def render_chart(
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "miss",
+    as_percent: bool = True,
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    Points are scattered with one glyph per series; overlapping points show
+    the later series' glyph. The y axis is scaled to the data range.
+    """
+    if not series:
+        raise ExperimentError("chart needs at least one series")
+    n_points = len(x_values)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {n_points}"
+            )
+    if n_points < 2:
+        raise ExperimentError("chart needs at least two x values")
+    if height < 3 or width < 10:
+        raise ExperimentError("chart too small to draw")
+
+    flat = [
+        value
+        for values in series.values()
+        for value in values
+        if value is not None
+    ]
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + (abs(lo) or 1.0) * 0.1
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, values) in zip(_GLYPHS, series.items()):
+        for i, value in enumerate(values):
+            if value is None:
+                continue
+            col = round(i * (width - 1) / (n_points - 1))
+            row = round((hi - value) * (height - 1) / (hi - lo))
+            grid[row][col] = glyph
+
+    def fmt(value: float) -> str:
+        return f"{value * 100:6.2f}%" if as_percent else f"{value:8.3f}"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = fmt(hi)
+        elif row_index == height - 1:
+            label = fmt(lo)
+        else:
+            label = " " * len(fmt(hi))
+        lines.append(f"{label} |{''.join(row)}")
+    axis_width = len(fmt(hi))
+    lines.append(" " * axis_width + " +" + "-" * width)
+    first, last = str(x_values[0]), str(x_values[-1])
+    gap = max(1, width - len(first) - len(last))
+    lines.append(
+        " " * (axis_width + 2) + first + " " * gap + last
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    lines.append(f"{y_label}: {legend}")
+    return "\n".join(lines)
+
+
+def charts_for_result(result) -> list[str]:
+    """Render the charts appropriate for an experiment's raw data.
+
+    Understands the two data layouts the figure experiments produce:
+    a single ``{"depths"/"configs": [...], "series": {...}}`` chart, or one
+    chart per benchmark keyed by name. Returns an empty list for tabular
+    experiments that have no natural chart.
+    """
+    data = result.data
+    x_values = data.get("depths") or data.get("configs") \
+        or data.get("widths")
+    if x_values is None or len(x_values) < 2:
+        return []
+    charts: list[str] = []
+    if isinstance(data.get("series"), dict):
+        charts.append(
+            f"[{result.experiment_id}]\n"
+            + render_chart(x_values, data["series"])
+        )
+        return charts
+    for name, value in data.items():
+        if name in ("depths", "configs", "widths"):
+            continue
+        if isinstance(value, dict):
+            series = {
+                key: values
+                for key, values in value.items()
+                if isinstance(values, (list, tuple))
+                and len(values) == len(x_values)
+            }
+            if series:
+                charts.append(
+                    f"[{result.experiment_id}: {name}]\n"
+                    + render_chart(x_values, series)
+                )
+    return charts

@@ -1,0 +1,1 @@
+"""Experiment drivers, one module per table/figure of the paper."""

@@ -1,0 +1,57 @@
+"""Shared constants and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from repro.predictors.folding import DolcSpec
+from repro.synth.profiles import BENCHMARK_NAMES
+
+#: Benchmarks in the paper's presentation order.
+BENCHMARKS = BENCHMARK_NAMES
+
+#: D-O-L-C(F) sweep for the 14-bit (8KB) exit-predictor PHT of Figure 10.
+#: One configuration per history depth 0..7; intermediate widths are always
+#: divisible by the fold count, matching the construction rules of §6.2.
+EXIT_DOLC_CONFIGS = (
+    "0-0-0-14(1)",
+    "1-0-7-7(1)",
+    "2-4-5-5(1)",
+    "3-6-8-8(2)",
+    "4-5-6-7(2)",
+    "5-4-6-6(2)",
+    "6-5-8-9(3)",
+    "7-4-9-9(3)",
+)
+
+#: D-O-L-C(F) sweep for the 11-bit (8KB) CTTB of Figure 12 — the paper's
+#: own axis labels: 0-0-0-11(1) … 7-4-4-5(3).
+CTTB_DOLC_CONFIGS = (
+    "0-0-0-11(1)",
+    "1-0-5-6(1)",
+    "2-3-3-5(1)",
+    "3-5-6-6(2)",
+    "4-4-5-5(2)",
+    "5-5-6-7(3)",
+    "6-4-6-7(3)",
+    "7-4-4-5(3)",
+)
+
+#: Depth-7, 15-bit-index (16KB PHT) configuration used by Table 3/4.
+DEPTH7_16KB_SPEC = "7-5-7-8(3)"
+
+#: Small CTTB used alongside the exit predictor in Table 3 (11-bit index).
+SMALL_CTTB_SPEC = "5-5-6-7(3)"
+
+#: Large CTTB for CTTB-only prediction in Table 3 (14-bit index, ~64KB).
+CTTB_ONLY_SPEC = "7-4-9-9(3)"
+
+
+def parse_configs(configs) -> list[DolcSpec]:
+    """Parse a sequence of D-O-L-C(F) strings."""
+    return [DolcSpec.parse(text) for text in configs]
+
+
+def effective_tasks(n_tasks: int | None, quick: bool, default: int) -> int:
+    """Pick the trace length: explicit > quick-mode > experiment default."""
+    if n_tasks is not None:
+        return n_tasks
+    return 40_000 if quick else default

@@ -1,0 +1,68 @@
+"""Extension: confidence estimation for task predictions.
+
+Applies the authors' MICRO-96 resetting-counter confidence estimator to
+the depth-7 path predictor: how much of the prediction stream can be
+flagged high-confidence, how accurate the flagged predictions are, and how
+well low confidence predicts an actual miss (the signal a Multiscalar
+sequencer would use to stop speculating deeper).
+"""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.report import format_percent, render_table
+from repro.evalx.result import ExperimentResult
+from repro.predictors.confidence import (
+    ResettingConfidenceEstimator,
+    simulate_confidence,
+)
+from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.synth.workloads import load_workload
+
+_DEFAULT_TASKS = 200_000
+_SPEC = "6-5-8-9(3)"
+_THRESHOLD = 4
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Measure coverage / high-confidence accuracy / PVN per benchmark."""
+    spec = DolcSpec.parse(_SPEC)
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in BENCHMARKS:
+        workload = load_workload(
+            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+        )
+        stats = simulate_confidence(
+            workload,
+            PathExitPredictor(spec),
+            ResettingConfidenceEstimator(spec, threshold=_THRESHOLD),
+        )
+        data[name] = {
+            "coverage": stats.coverage,
+            "high_accuracy": stats.high_confidence_accuracy,
+            "pvn": stats.pvn,
+        }
+        rows.append(
+            [
+                name,
+                format_percent(stats.coverage, 1),
+                format_percent(stats.high_confidence_accuracy, 1),
+                format_percent(stats.pvn, 1),
+            ]
+        )
+    text = render_table(
+        ["Benchmark", "coverage", "high-conf accuracy", "PVN"],
+        rows,
+        title=(
+            f"resetting-counter estimator, threshold {_THRESHOLD}, "
+            f"over {_SPEC} path prediction"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext_confidence",
+        title="Confidence estimation for task predictions",
+        text=text,
+        data=data,
+    )

@@ -1,0 +1,97 @@
+"""Extension: confidence-gated speculation control, measured in IPC.
+
+Closes the loop on ``ext_confidence``: instead of only scoring the
+estimator, use it — a low-confidence task prediction makes the sequencer
+*wait* for resolution rather than speculate. Gating trades lost overlap on
+correct-but-unconfident predictions against avoided squashes on wrong
+ones.
+
+The result is a crossover study. With the default machine (mispredicts
+redirect at completion plus a small penalty), gating *loses* everywhere:
+stalling costs the same overlap a squash would have cost, and it also
+stalls on correct-but-unconfident predictions. Gating only pays when
+recovery is expensive (e.g. a deep recovery penalty modelling state repair
+cost), which the second sweep shows — the classic speculation-control
+trade-off (Grunwald et al. style) reproduced at task granularity.
+"""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.report import render_table
+from repro.evalx.result import ExperimentResult
+from repro.predictors.confidence import ResettingConfidenceEstimator
+from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.task_predictor import HeaderTaskPredictor
+from repro.predictors.ttb import CorrelatedTaskTargetBuffer
+from repro.sim.timing import TimingConfig, simulate_timing
+from repro.synth.workloads import load_workload
+
+_DEFAULT_TASKS = 150_000
+_SPEC = "6-5-8-9(3)"
+_THRESHOLDS = (2, 4, 8)
+#: Recovery costs swept: the default cheap redirect and an expensive one.
+_PENALTIES = (3, 40)
+
+
+def _predictor(workload):
+    return HeaderTaskPredictor(
+        program=workload.compiled.program,
+        exit_predictor=PathExitPredictor(DolcSpec.parse(_SPEC)),
+        cttb=CorrelatedTaskTargetBuffer(DolcSpec.parse("5-5-6-7(3)")),
+        ras=ReturnAddressStack(depth=32),
+    )
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """IPC with and without confidence gating, per threshold."""
+    thresholds = _THRESHOLDS[1:2] if quick else _THRESHOLDS
+    sections = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for penalty in _PENALTIES:
+        config = TimingConfig(task_mispredict_penalty=penalty)
+        rows = []
+        for name in BENCHMARKS:
+            workload = load_workload(
+                name,
+                n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS),
+            )
+            ungated = simulate_timing(
+                workload, _predictor(workload), config=config
+            )
+            row: list[object] = [name, f"{ungated.ipc:.2f}"]
+            per_bench = data.setdefault(name, {})
+            per_penalty = per_bench.setdefault(
+                f"penalty{penalty}", {"ungated": ungated.ipc}
+            )
+            for threshold in thresholds:
+                gated = simulate_timing(
+                    workload,
+                    _predictor(workload),
+                    config=config,
+                    confidence_gate=ResettingConfidenceEstimator(
+                        DolcSpec.parse(_SPEC), threshold=threshold
+                    ),
+                )
+                row.append(f"{gated.ipc:.2f}")
+                per_penalty[f"gated_t{threshold}"] = gated.ipc
+            rows.append(row)
+        headers = ["Benchmark", "ungated"] + [
+            f"gated t={t}" for t in thresholds
+        ]
+        sections.append(
+            render_table(
+                headers, rows,
+                title=(
+                    f"IPC, mispredict recovery penalty = {penalty} cycles"
+                ),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ext_gating",
+        title="Confidence-gated speculation control (IPC)",
+        text="\n\n".join(sections),
+        data=data,
+    )

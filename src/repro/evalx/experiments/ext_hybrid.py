@@ -1,0 +1,66 @@
+"""Extension: tournament PATH+PER prediction.
+
+Figure 7 shows PATH winning everywhere except sc, where PER's per-task
+history captures cyclic behaviour PATH cannot. A McFarling-style tournament
+of the two should match the better component on every benchmark — this
+experiment verifies that, comparing the hybrid against its components at
+equal history depth.
+"""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.report import render_series
+from repro.evalx.result import ExperimentResult
+from repro.predictors.exit_predictors import (
+    PathExitPredictor,
+    PerTaskExitPredictor,
+)
+from repro.predictors.folding import DolcSpec
+from repro.predictors.hybrid import TournamentExitPredictor
+from repro.sim.functional import simulate_exit_prediction
+from repro.synth.workloads import load_workload
+
+_DEFAULT_TASKS = 200_000
+_PATH_SPEC = "6-5-8-9(3)"
+_PER_DEPTH = 6
+
+
+def _components():
+    path = PathExitPredictor(DolcSpec.parse(_PATH_SPEC))
+    per = PerTaskExitPredictor(depth=_PER_DEPTH, index_bits=14)
+    return path, per
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Measure PATH, PER, and their tournament on every benchmark."""
+    series: dict[str, list[float]] = {
+        "PATH": [], "PER": [], "tournament": [],
+    }
+    for name in BENCHMARKS:
+        workload = load_workload(
+            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+        )
+        path, per = _components()
+        series["PATH"].append(
+            simulate_exit_prediction(workload, path).miss_rate
+        )
+        path, per = _components()
+        series["PER"].append(
+            simulate_exit_prediction(workload, per).miss_rate
+        )
+        path, per = _components()
+        hybrid = TournamentExitPredictor(path, per)
+        series["tournament"].append(
+            simulate_exit_prediction(workload, hybrid).miss_rate
+        )
+    text = render_series(
+        "benchmark", list(BENCHMARKS), series,
+        title=f"exit miss rate: {_PATH_SPEC} vs PER d{_PER_DEPTH} vs hybrid",
+    )
+    return ExperimentResult(
+        experiment_id="ext_hybrid",
+        title="Tournament PATH+PER exit prediction",
+        text=text,
+        data={"benchmarks": list(BENCHMARKS), "series": series},
+    )

@@ -1,0 +1,62 @@
+"""Extension: cost of the paper's perfect-history-repair idealisation.
+
+The paper's functional simulator assumes mispredict recovery "completely
+repairs data structures modified after a misprediction" (§3.1). This
+experiment measures what that assumption is worth: the depth-7 path
+predictor runs with speculative history and wrong-path pollution under
+three repair policies — perfect checkpoint restore, squash-to-empty, and
+no repair at all.
+"""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.report import render_series
+from repro.evalx.result import ExperimentResult
+from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.predictors.speculative import (
+    REPAIR_POLICIES,
+    SpeculativePathPredictor,
+)
+from repro.sim.functional import simulate_exit_prediction
+from repro.sim.relaxed import simulate_speculative_exit_prediction
+from repro.synth.workloads import load_workload
+
+_BENCHMARKS = ("gcc", "xlisp", "espresso")
+_DEFAULT_TASKS = 150_000
+_SPEC = "6-5-8-9(3)"
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Compare repair policies against the idealised simulator's rate."""
+    spec = DolcSpec.parse(_SPEC)
+    series: dict[str, list[float]] = {
+        "idealised (paper §3.1)": [],
+        **{f"speculative/{policy}": [] for policy in REPAIR_POLICIES},
+    }
+    for name in _BENCHMARKS:
+        workload = load_workload(
+            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+        )
+        idealised = simulate_exit_prediction(
+            workload, PathExitPredictor(spec)
+        )
+        series["idealised (paper §3.1)"].append(idealised.miss_rate)
+        for policy in REPAIR_POLICIES:
+            stats = simulate_speculative_exit_prediction(
+                workload,
+                SpeculativePathPredictor(spec, repair=policy),
+                wrong_path_depth=4,
+            )
+            series[f"speculative/{policy}"].append(stats.miss_rate)
+    text = render_series(
+        "benchmark", list(_BENCHMARKS), series,
+        title=f"exit miss rate, {_SPEC}, wrong-path depth 4",
+    )
+    return ExperimentResult(
+        experiment_id="ext_repair",
+        title="History repair policies under wrong-path pollution",
+        text=text,
+        data={"benchmarks": list(_BENCHMARKS), "series": series},
+    )

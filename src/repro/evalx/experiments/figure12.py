@@ -1,0 +1,63 @@
+"""Figure 12: real 8KB CTTBs vs ideal for indirect-target prediction."""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import (
+    CTTB_DOLC_CONFIGS,
+    effective_tasks,
+    parse_configs,
+)
+from repro.evalx.report import render_series
+from repro.evalx.result import ExperimentResult
+from repro.predictors.ttb import (
+    CorrelatedTaskTargetBuffer,
+    IdealCorrelatedTargetBuffer,
+)
+from repro.sim.functional import simulate_indirect_target_prediction
+from repro.synth.workloads import load_workload
+
+_BENCHMARKS = ("gcc", "xlisp")
+_DEFAULT_TASKS = 250_000
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Reproduce Figure 12: real CTTB implementations vs the ideal.
+
+    Each point uses an 11-bit index (8KB at 4 bytes per entry, as in the
+    paper). xlisp implementations track the ideal closely; gcc diverges
+    because its path working set exceeds the table.
+    """
+    specs = parse_configs(CTTB_DOLC_CONFIGS)
+    if quick:
+        specs = specs[::2]
+    labels = [str(spec) for spec in specs]
+    sections = []
+    data: dict[str, dict] = {"configs": labels}
+    for name in _BENCHMARKS:
+        workload = load_workload(
+            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+        )
+        real = []
+        ideal = []
+        for spec in specs:
+            real.append(
+                simulate_indirect_target_prediction(
+                    workload, CorrelatedTaskTargetBuffer(spec)
+                ).miss_rate
+            )
+            ideal.append(
+                simulate_indirect_target_prediction(
+                    workload, IdealCorrelatedTargetBuffer(spec.depth)
+                ).miss_rate
+            )
+        series = {"ideal": ideal, "real": real}
+        data[name] = series
+        sections.append(
+            render_series("DOLC (F)", labels, series, title=name.upper())
+        )
+    return ExperimentResult(
+        experiment_id="figure12",
+        title="Real (8KB) CTTB vs ideal for address prediction",
+        text="\n\n".join(sections),
+        data=data,
+    )

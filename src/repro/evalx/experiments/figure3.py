@@ -1,0 +1,65 @@
+"""Figure 3: number of exits per task, static and dynamic."""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.report import format_percent, render_table
+from repro.evalx.result import ExperimentResult
+from repro.isa.controlflow import MAX_EXITS_PER_TASK
+from repro.synth.profiles import get_profile
+from repro.synth.stats_view import compute_stats
+from repro.synth.workloads import load_workload
+
+_ARITIES = tuple(range(1, MAX_EXITS_PER_TASK + 1))
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Reproduce Figure 3: the distribution of exits per task (1–4 targets).
+
+    The paper's stacked bars become one static and one dynamic row per
+    benchmark plus the cross-benchmark average. The encouraging property
+    the paper highlights — "most tasks have fewer than four exits, many
+    having only a single exit" — is asserted by the test suite.
+    """
+    rows = []
+    data: dict[str, dict[str, dict[int, float]]] = {}
+    sums = {
+        "static": dict.fromkeys(_ARITIES, 0.0),
+        "dynamic": dict.fromkeys(_ARITIES, 0.0),
+    }
+    for name in BENCHMARKS:
+        workload = load_workload(
+            name,
+            n_tasks=effective_tasks(
+                n_tasks, quick, get_profile(name).default_dynamic_tasks
+            ),
+        )
+        stats = compute_stats(workload)
+        views = {
+            "static": stats.static_arity,
+            "dynamic": stats.dynamic_arity,
+        }
+        data[name] = views
+        for kind, dist in views.items():
+            rows.append(
+                [name, kind]
+                + [format_percent(dist[k], 1) for k in _ARITIES]
+            )
+            for k in _ARITIES:
+                sums[kind][k] += dist[k]
+    for kind in ("static", "dynamic"):
+        average = {k: sums[kind][k] / len(BENCHMARKS) for k in _ARITIES}
+        data.setdefault("average", {})[kind] = average
+        rows.append(
+            ["average", kind]
+            + [format_percent(average[k], 1) for k in _ARITIES]
+        )
+    text = render_table(
+        ["Benchmark", "View", "1 target", "2", "3", "4"], rows
+    )
+    return ExperimentResult(
+        experiment_id="figure3",
+        title="Number of exits per task",
+        text=text,
+        data=data,
+    )

@@ -1,0 +1,49 @@
+"""Figure 4: types of exit instructions, static and dynamic."""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.report import format_percent, render_table
+from repro.evalx.result import ExperimentResult
+from repro.synth.profiles import get_profile
+from repro.synth.stats_view import EXIT_TYPES, compute_stats
+from repro.synth.workloads import load_workload
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Reproduce Figure 4: exit mix by control-flow type.
+
+    gcc and xlisp carry a substantial indirect-branch/indirect-call share —
+    the property that motivates the CTTB (§5.3).
+    """
+    rows = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for name in BENCHMARKS:
+        workload = load_workload(
+            name,
+            n_tasks=effective_tasks(
+                n_tasks, quick, get_profile(name).default_dynamic_tasks
+            ),
+        )
+        stats = compute_stats(workload)
+        views = {
+            "static": stats.static_types,
+            "dynamic": stats.dynamic_types,
+        }
+        data[name] = views
+        for kind, dist in views.items():
+            rows.append(
+                [name, kind]
+                + [format_percent(dist[str(t)], 1) for t in EXIT_TYPES]
+            )
+    text = render_table(
+        ["Benchmark", "View", "branch", "call", "return",
+         "ind.branch", "ind.call"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="figure4",
+        title="Types of exit instructions",
+        text=text,
+        data=data,
+    )

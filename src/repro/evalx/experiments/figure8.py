@@ -1,0 +1,65 @@
+"""Figure 8: ideal (alias-free) CTTB for indirect-target prediction."""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.report import render_series
+from repro.evalx.result import ExperimentResult
+from repro.predictors.ttb import (
+    IdealCorrelatedTargetBuffer,
+    TaskTargetBuffer,
+)
+from repro.sim.functional import simulate_indirect_target_prediction
+from repro.synth.workloads import load_workload
+
+#: The paper concentrates on the two benchmarks with a substantial
+#: indirect-exit share.
+_BENCHMARKS = ("gcc", "xlisp")
+_DEFAULT_TASKS = 250_000
+_DEPTHS = tuple(range(0, 8))
+_QUICK_DEPTHS = (0, 1, 3, 7)
+
+#: "Infinitely large" plain TTB for the §5.3 comparison point (the paper's
+#: 59% / 39% miss rates for gcc / xlisp).
+_LARGE_TTB_BITS = 22
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Reproduce Figure 8: ideal CTTB miss rate vs history depth.
+
+    Also reports the infinite plain-TTB miss rate of §5.3 — the comparison
+    that motivates path correlation for indirect targets.
+    """
+    depths = _QUICK_DEPTHS if quick else _DEPTHS
+    sections = []
+    data: dict[str, dict] = {"depths": list(depths)}
+    for name in _BENCHMARKS:
+        workload = load_workload(
+            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+        )
+        ttb_stats = simulate_indirect_target_prediction(
+            workload, TaskTargetBuffer(index_bits=_LARGE_TTB_BITS)
+        )
+        series = {
+            "ideal CTTB": [
+                simulate_indirect_target_prediction(
+                    workload, IdealCorrelatedTargetBuffer(depth)
+                ).miss_rate
+                for depth in depths
+            ],
+            "infinite TTB": [ttb_stats.miss_rate] * len(depths),
+        }
+        data[name] = {
+            "cttb": series["ideal CTTB"],
+            "ttb": ttb_stats.miss_rate,
+            "indirect_exits": ttb_stats.trials,
+        }
+        sections.append(
+            render_series("depth", list(depths), series, title=name.upper())
+        )
+    return ExperimentResult(
+        experiment_id="figure8",
+        title="Performance of ideal (alias-free) CTTB",
+        text="\n\n".join(sections),
+        data=data,
+    )

@@ -1,0 +1,60 @@
+"""Table 2: benchmarks, inputs, and task-level characteristics."""
+
+from __future__ import annotations
+
+from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.report import render_table
+from repro.evalx.result import ExperimentResult
+from repro.synth.profiles import get_profile
+from repro.synth.workloads import load_workload
+
+
+def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
+    """Reproduce Table 2: static / dynamic / distinct task counts.
+
+    Paper columns are shown next to measured ones. Dynamic task counts are
+    scaled down by design (see DESIGN.md); static and distinct counts are
+    the calibration targets.
+    """
+    rows = []
+    data: dict[str, dict[str, int]] = {}
+    for name in BENCHMARKS:
+        profile = get_profile(name)
+        tasks = effective_tasks(n_tasks, quick, profile.default_dynamic_tasks)
+        workload = load_workload(name, n_tasks=tasks)
+        static = workload.compiled.program.static_task_count
+        dynamic = workload.trace.dynamic_task_count
+        seen = workload.trace.distinct_tasks_seen()
+        paper = profile.paper
+        rows.append(
+            [
+                name,
+                paper.input_name,
+                static,
+                paper.static_tasks,
+                dynamic,
+                paper.dynamic_tasks,
+                seen,
+                paper.distinct_tasks_seen,
+            ]
+        )
+        data[name] = {
+            "static_tasks": static,
+            "dynamic_tasks": dynamic,
+            "distinct_tasks_seen": seen,
+        }
+    text = render_table(
+        [
+            "Benchmark", "Input",
+            "Static", "(paper)",
+            "Dynamic", "(paper)",
+            "Distinct", "(paper)",
+        ],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Benchmarks, inputs and task information",
+        text=text,
+        data=data,
+    )

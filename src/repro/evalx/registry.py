@@ -1,0 +1,62 @@
+"""Experiment registry: id -> driver."""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.errors import ExperimentError
+from repro.evalx.result import ExperimentResult
+
+#: Every reproducible table and figure, in paper order.
+EXPERIMENT_IDS = (
+    "table2",
+    "figure3",
+    "figure4",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure10",
+    "figure11",
+    "figure12",
+    "table3",
+    "table4",
+)
+
+#: Extension studies beyond the paper's evaluation (see each module's
+#: docstring): repair-policy cost, RAS depth, CTTB sizing.
+EXTENSION_IDS = (
+    "ext_repair",
+    "ext_ras",
+    "ext_cttb",
+    "ext_hybrid",
+    "ext_confidence",
+    "ext_tasksize",
+    "ext_dominance",
+    "ext_static",
+    "ext_seeds",
+    "ext_gating",
+)
+
+ALL_IDS = EXPERIMENT_IDS + EXTENSION_IDS + ("summary",)
+
+
+def run_experiment(
+    experiment_id: str,
+    n_tasks: int | None = None,
+    quick: bool = False,
+    **kwargs,
+) -> ExperimentResult:
+    """Run the named experiment and return its result.
+
+    ``n_tasks`` overrides the trace length; ``quick`` shrinks both trace
+    and sweep for smoke runs. Extra keyword arguments pass through to the
+    driver (e.g. ``benchmarks=("gcc",)`` for figure7/figure10).
+    """
+    if experiment_id not in ALL_IDS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {ALL_IDS}"
+        )
+    module = importlib.import_module(
+        f"repro.evalx.experiments.{experiment_id}"
+    )
+    return module.run(n_tasks=n_tasks, quick=quick, **kwargs)

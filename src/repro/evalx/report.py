@@ -1,0 +1,70 @@
+"""Plain-text rendering for experiment reports: tables and series grids."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Render a fraction as a fixed-width percentage string."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Cells are stringified; columns are right-aligned except the first.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            )
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    as_percent: bool = True,
+) -> str:
+    """Render multiple named series over a shared x axis as a table.
+
+    This is the textual equivalent of the paper's line charts: one row per
+    x value, one column per series.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            value = values[i]
+            if value is None:
+                row.append("-")
+            elif as_percent:
+                row.append(format_percent(value))
+            else:
+                row.append(f"{value:.3f}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

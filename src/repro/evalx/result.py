@@ -1,0 +1,26 @@
+"""The result record every experiment driver returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    Attributes:
+        experiment_id: Registry id, e.g. ``"figure7"``.
+        title: Human-readable description matching the paper's caption.
+        text: Rendered report — the same rows/series the paper presents.
+        data: Raw numbers keyed by experiment-specific names; the test
+            suite asserts shape properties (orderings, crossovers) on these.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"

@@ -1,0 +1,81 @@
+"""Human-readable dumps of Multiscalar executables.
+
+A "task disassembler": renders headers, tasks, and TFG neighbourhoods the
+way a binutils-style tool would, for debugging generated programs and for
+documentation. All functions return strings; nothing prints.
+"""
+
+from __future__ import annotations
+
+from repro.isa.controlflow import ControlFlowType
+from repro.isa.encoding import header_size_bits
+from repro.isa.program import MultiscalarProgram
+from repro.isa.task import StaticTask, TaskExit
+
+_TYPE_MNEMONICS = {
+    ControlFlowType.BRANCH: "br",
+    ControlFlowType.CALL: "call",
+    ControlFlowType.RETURN: "ret",
+    ControlFlowType.INDIRECT_BRANCH: "ibr",
+    ControlFlowType.INDIRECT_CALL: "icall",
+}
+
+
+def format_exit(task_exit: TaskExit) -> str:
+    """One exit as e.g. ``call -> 0x2000 (ret 0x1010)`` or ``ibr -> ?``."""
+    mnemonic = _TYPE_MNEMONICS[task_exit.cf_type]
+    target = (
+        f"{task_exit.target:#x}" if task_exit.target is not None else "?"
+    )
+    text = f"{mnemonic} -> {target}"
+    if task_exit.return_address is not None:
+        text += f" (ret {task_exit.return_address:#x})"
+    return text
+
+
+def format_task(task: StaticTask) -> str:
+    """A task as a multi-line header dump."""
+    lines = [
+        f"task {task.address:#x}"
+        + (f"  <{task.name}>" if task.name else ""),
+        f"  insns={task.instruction_count}"
+        f"  internal_branches={task.internal_branch_count}"
+        f"  header={header_size_bits(task.header)}b"
+        f"  create_mask={task.header.create_mask:#06x}",
+    ]
+    for index, task_exit in enumerate(task.header.exits):
+        lines.append(f"  exit {index}: {format_exit(task_exit)}")
+    return "\n".join(lines)
+
+
+def format_program_summary(program: MultiscalarProgram) -> str:
+    """A one-screen overview of an executable."""
+    histogram = program.exit_arity_histogram()
+    arity = ", ".join(
+        f"{count}x{n_exits}-exit" for n_exits, count in histogram.items()
+    )
+    return "\n".join(
+        [
+            f"program {program.name!r}: "
+            f"{program.static_task_count} tasks, entry {program.entry:#x}",
+            f"  exit arity: {arity}",
+            f"  total header bits: {program.total_header_bits()} "
+            f"({program.total_header_bits() // 8} bytes)",
+        ]
+    )
+
+
+def format_task_neighbourhood(
+    program: MultiscalarProgram, address: int
+) -> str:
+    """A task plus its known successors — a TFG close-up."""
+    task = program.task(address)
+    lines = [format_task(task)]
+    successors = sorted(program.tfg.successors(address))
+    if successors:
+        lines.append("  known successors:")
+        for successor in successors:
+            name = program.task(successor).name if successor in program \
+                else "?"
+            lines.append(f"    {successor:#x}  <{name}>")
+    return "\n".join(lines)

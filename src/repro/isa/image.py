@@ -1,0 +1,114 @@
+"""Binary program images: save/load Multiscalar executables.
+
+A small container format (magic, version, entry point, task table) whose
+per-task payload is the *actual header encoding* of
+:mod:`repro.isa.encoding` — so an image's size reflects real header
+overhead, and a program round-trips bit-exactly through a file.
+
+Layout (little-endian):
+
+```
+u32 magic 'MSCX'   u16 version   u32 entry   u32 task_count
+per task:
+    u32 address    u32 instruction_count    u16 internal_branches
+    u16 use_mask   u16 name_length          name bytes (utf-8)
+    u16 header_bits                         header payload bytes
+```
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode_header, encode_header
+from repro.isa.program import MultiscalarProgram
+from repro.isa.task import StaticTask
+
+_MAGIC = 0x4D534358  # 'MSCX'
+_VERSION = 1
+_FILE_HEADER = struct.Struct("<IHII")
+_TASK_HEADER = struct.Struct("<IIHHH")
+_BITS_FIELD = struct.Struct("<H")
+
+
+def save_program(program: MultiscalarProgram, path: Path | str) -> int:
+    """Write ``program`` to a binary image; returns bytes written."""
+    chunks = [
+        _FILE_HEADER.pack(
+            _MAGIC, _VERSION, program.entry, program.static_task_count
+        )
+    ]
+    for address in program.tfg.addresses():
+        task = program.task(address)
+        name_bytes = task.name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise EncodingError(f"task name too long: {task.name[:40]}...")
+        chunks.append(
+            _TASK_HEADER.pack(
+                task.address,
+                task.instruction_count,
+                task.internal_branch_count,
+                task.use_mask,
+                len(name_bytes),
+            )
+        )
+        chunks.append(name_bytes)
+        value, width = encode_header(task.header)
+        chunks.append(_BITS_FIELD.pack(width))
+        chunks.append(value.to_bytes((width + 7) // 8, "little"))
+    blob = b"".join(chunks)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_program(path: Path | str, name: str = "") -> MultiscalarProgram:
+    """Read a binary image written by :func:`save_program`."""
+    blob = Path(path).read_bytes()
+    if len(blob) < _FILE_HEADER.size:
+        raise EncodingError("image truncated: no file header")
+    magic, version, entry, task_count = _FILE_HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise EncodingError(f"bad magic {magic:#x}; not a program image")
+    if version != _VERSION:
+        raise EncodingError(f"unsupported image version {version}")
+    cursor = _FILE_HEADER.size
+    tasks: list[StaticTask] = []
+    for _ in range(task_count):
+        try:
+            (
+                address, instruction_count, internal_branches,
+                use_mask, name_length,
+            ) = _TASK_HEADER.unpack_from(blob, cursor)
+            cursor += _TASK_HEADER.size
+            task_name = blob[cursor:cursor + name_length].decode(
+                "utf-8", errors="replace"
+            )
+            cursor += name_length
+            (width,) = _BITS_FIELD.unpack_from(blob, cursor)
+            cursor += _BITS_FIELD.size
+            n_bytes = (width + 7) // 8
+            value = int.from_bytes(
+                blob[cursor:cursor + n_bytes], "little"
+            )
+            cursor += n_bytes
+        except struct.error as error:
+            raise EncodingError(f"image truncated: {error}") from None
+        tasks.append(
+            StaticTask(
+                address=address,
+                header=decode_header(value, width),
+                instruction_count=instruction_count,
+                internal_branch_count=internal_branches,
+                use_mask=use_mask,
+                name=task_name,
+            )
+        )
+    if cursor != len(blob):
+        raise EncodingError(
+            f"{len(blob) - cursor} trailing bytes after the task table"
+        )
+    return MultiscalarProgram(
+        name=name or str(path), tasks=tasks, entry=entry
+    )

@@ -1,0 +1,60 @@
+"""The Multiscalar program container: a TFG plus an entry point and metadata."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TaskFormatError
+from repro.isa.encoding import header_size_bits
+from repro.isa.task import StaticTask
+from repro.isa.tfg import TaskFlowGraph
+
+
+class MultiscalarProgram:
+    """A complete Multiscalar executable.
+
+    Attributes:
+        name: Program label (benchmark name for synthetic workloads).
+        entry: Start address of the first task executed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Iterable[StaticTask],
+        entry: int,
+    ) -> None:
+        self.name = name
+        self.tfg = TaskFlowGraph(tasks)
+        if entry not in self.tfg:
+            raise TaskFormatError(
+                f"entry address {entry:#x} is not a task start address"
+            )
+        self.entry = entry
+
+    @property
+    def static_task_count(self) -> int:
+        """Number of static tasks in the executable (Table 2, 'Static Tasks')."""
+        return len(self.tfg)
+
+    def task(self, address: int) -> StaticTask:
+        """Return the static task starting at ``address``."""
+        return self.tfg.task(address)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.tfg
+
+    def total_header_bits(self) -> int:
+        """Total encoded size of all task headers, in bits.
+
+        Quantifies the header overhead that the CTTB-only scheme of §5.4
+        eliminates.
+        """
+        return sum(header_size_bits(task.header) for task in self.tfg)
+
+    def exit_arity_histogram(self) -> dict[int, int]:
+        """Static histogram {n_exits: task count} (Figure 3, 'static' bars)."""
+        histogram: dict[int, int] = {}
+        for task in self.tfg:
+            histogram[task.n_exits] = histogram.get(task.n_exits, 0) + 1
+        return dict(sorted(histogram.items()))

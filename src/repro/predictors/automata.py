@@ -1,0 +1,195 @@
+"""Multi-way prediction automata (paper §5.1, Figure 6).
+
+Scalar branch predictors use 2-bit saturating counters, but a Multiscalar
+task has up to four exits, so predicting the taken exit is a multi-way
+branching problem. The paper evaluates seven automata, which stratify into
+three tiers:
+
+* worst: last exit (LE);
+* middle: 2-bit voting counters (MRU or random tie-break) and LEH-1;
+* best: 3-bit voting counters (both tie-breaks) and LEH-2.
+
+LEH-2 matches the 3-bit voting counters using fewer bits, so the paper (and
+this library) adopts it as the default automaton.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+
+from repro.errors import PredictorConfigError
+from repro.isa.controlflow import MAX_EXITS_PER_TASK
+from repro.utils.rng import DeterministicRng
+
+
+class MultiwayAutomaton(abc.ABC):
+    """One PHT entry: predicts an exit index in 0..3 and learns outcomes."""
+
+    @abc.abstractmethod
+    def predict(self) -> int:
+        """Return the currently predicted exit index."""
+
+    @abc.abstractmethod
+    def update(self, actual: int) -> None:
+        """Train on the actual exit index."""
+
+    @classmethod
+    @abc.abstractmethod
+    def bits_per_entry(cls_or_self) -> int:
+        """Storage cost of one PHT entry, in bits."""
+
+
+class LastExit(MultiwayAutomaton):
+    """Predict whatever exit was taken last time this entry was used (LE).
+
+    A degenerate voting counter with 1-bit counters; cheapest and least
+    accurate of the seven automata.
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last = 0
+
+    def predict(self) -> int:
+        return self._last
+
+    def update(self, actual: int) -> None:
+        self._last = actual
+
+    @classmethod
+    def bits_per_entry(cls) -> int:
+        return 2  # an exit number
+
+
+class LastExitHysteresis(MultiwayAutomaton):
+    """Last exit plus a small confidence counter (LEH).
+
+    The counter increments on correct predictions and decrements on
+    incorrect ones; the stored exit is replaced only when the counter is
+    zero *and* the prediction was wrong — so a proven prediction survives
+    a single anomalous outcome (1-bit) or two (2-bit).
+    """
+
+    __slots__ = ("_exit", "_confidence", "_max_confidence", "_bits")
+
+    def __init__(self, hysteresis_bits: int = 2) -> None:
+        if hysteresis_bits < 1:
+            raise PredictorConfigError("hysteresis needs >= 1 bit")
+        self._bits = hysteresis_bits
+        self._exit = 0
+        self._confidence = 0
+        self._max_confidence = (1 << hysteresis_bits) - 1
+
+    def predict(self) -> int:
+        return self._exit
+
+    def update(self, actual: int) -> None:
+        if actual == self._exit:
+            if self._confidence < self._max_confidence:
+                self._confidence += 1
+        elif self._confidence > 0:
+            self._confidence -= 1
+        else:
+            self._exit = actual
+            self._confidence = 0
+
+    def bits_per_entry(self) -> int:
+        return 2 + self._bits
+
+
+class VotingCounters(MultiwayAutomaton):
+    """One saturating counter per exit; the highest counter wins (VC).
+
+    Ties are broken either toward the most-recently-used exit among the tied
+    ones (``tie_break='mru'``, which costs extra storage) or randomly
+    (``tie_break='random'``). On an outcome, the actual exit's counter
+    increments and all others decrement.
+    """
+
+    __slots__ = ("_counters", "_bits", "_max", "_tie_break", "_rng", "_mru")
+
+    def __init__(
+        self,
+        counter_bits: int = 2,
+        tie_break: str = "mru",
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        if counter_bits < 1:
+            raise PredictorConfigError("counters need >= 1 bit")
+        if tie_break not in ("mru", "random"):
+            raise PredictorConfigError(
+                f"tie_break must be 'mru' or 'random', got {tie_break!r}"
+            )
+        if tie_break == "random" and rng is None:
+            raise PredictorConfigError("random tie-break needs an rng")
+        self._bits = counter_bits
+        self._max = (1 << counter_bits) - 1
+        self._counters = [0] * MAX_EXITS_PER_TASK
+        self._tie_break = tie_break
+        self._rng = rng
+        self._mru = 0
+
+    def predict(self) -> int:
+        counters = self._counters
+        best = max(counters)
+        tied = [i for i, c in enumerate(counters) if c == best]
+        if len(tied) == 1:
+            return tied[0]
+        if self._tie_break == "mru":
+            return self._mru if self._mru in tied else tied[0]
+        return self._rng.choice(tied)
+
+    def update(self, actual: int) -> None:
+        counters = self._counters
+        for i in range(MAX_EXITS_PER_TASK):
+            if i == actual:
+                if counters[i] < self._max:
+                    counters[i] += 1
+            elif counters[i] > 0:
+                counters[i] -= 1
+        self._mru = actual
+
+    def bits_per_entry(self) -> int:
+        mru_bits = 2 if self._tie_break == "mru" else 0
+        return MAX_EXITS_PER_TASK * self._bits + mru_bits
+
+
+#: The seven automata of Figure 6, keyed by the paper's labels.
+AUTOMATON_SPECS = (
+    "LE",
+    "VC2-MRU",
+    "VC2-RANDOM",
+    "LEH-1",
+    "VC3-MRU",
+    "VC3-RANDOM",
+    "LEH-2",
+)
+
+
+def make_automaton_factory(
+    spec: str, rng: DeterministicRng | None = None
+) -> Callable[[], MultiwayAutomaton]:
+    """Return a zero-argument factory for the named automaton.
+
+    ``rng`` is required for the random tie-break variants; all entries of a
+    predictor share the stream, as hardware would share one LFSR.
+    """
+    if spec == "LE":
+        return LastExit
+    if spec == "LEH-1":
+        return lambda: LastExitHysteresis(1)
+    if spec == "LEH-2":
+        return lambda: LastExitHysteresis(2)
+    if spec in ("VC2-MRU", "VC3-MRU"):
+        bits = 2 if spec.startswith("VC2") else 3
+        return lambda: VotingCounters(bits, tie_break="mru")
+    if spec in ("VC2-RANDOM", "VC3-RANDOM"):
+        if rng is None:
+            rng = DeterministicRng(0).fork("vc-random")
+        bits = 2 if spec.startswith("VC2") else 3
+        return lambda: VotingCounters(bits, tie_break="random", rng=rng)
+    raise PredictorConfigError(
+        f"unknown automaton {spec!r}; known: {AUTOMATON_SPECS}"
+    )

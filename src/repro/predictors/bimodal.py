@@ -1,0 +1,47 @@
+"""Intra-task bimodal branch predictor (paper §2.2).
+
+Each processing unit predicts the conditional branches *inside* its task
+with a bimodal (2-bit saturating counter) predictor, "which only suffers
+minimal accuracy loss due to incomplete history". The table is keyed by an
+opaque branch identity (block label or address), with counters created at
+weakly-not-taken.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+_TAKEN_THRESHOLD = 2
+_COUNTER_MAX = 3
+_INITIAL = 1  # weakly not-taken
+
+
+class BimodalPredictor:
+    """A 2-bit-counter-per-branch direction predictor."""
+
+    def __init__(self) -> None:
+        self._counters: dict[Hashable, int] = {}
+
+    def predict(self, branch: Hashable) -> bool:
+        """Return True if the branch is predicted taken."""
+        return self._counters.get(branch, _INITIAL) >= _TAKEN_THRESHOLD
+
+    def update(self, branch: Hashable, taken: bool) -> None:
+        """Train the branch's counter on its actual direction."""
+        counter = self._counters.get(branch, _INITIAL)
+        if taken:
+            if counter < _COUNTER_MAX:
+                counter += 1
+        elif counter > 0:
+            counter -= 1
+        self._counters[branch] = counter
+
+    def predict_and_update(self, branch: Hashable, taken: bool) -> bool:
+        """Predict then train in one call; returns whether it was correct."""
+        correct = self.predict(branch) == taken
+        self.update(branch, taken)
+        return correct
+
+    def branches_tracked(self) -> int:
+        """Number of distinct branches with a counter."""
+        return len(self._counters)

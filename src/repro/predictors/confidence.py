@@ -1,0 +1,158 @@
+"""Confidence estimation for task predictions.
+
+The same authors' companion work (Jacobson, Bennett, Sharma & Smith,
+"Assigning Confidence to Conditional Branch Predictions", MICRO-29 1996)
+attaches a *confidence estimator* to a predictor: a table of resetting
+counters that count consecutive correct predictions per history context.
+A prediction is high-confidence when its counter has reached a threshold.
+
+In a Multiscalar machine this gates speculation depth: a low-confidence
+task prediction is a good place to stop allocating processing units (a
+mispredicted task squashes all younger work). The ``ext_confidence``
+experiment measures the classic quality metrics:
+
+* coverage — fraction of predictions flagged high-confidence;
+* high-confidence accuracy;
+* PVN (predictive value of a negative) — fraction of low-confidence
+  predictions that indeed miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PredictorConfigError
+from repro.predictors.base import ExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.synth.workloads import Workload
+
+
+class ResettingConfidenceEstimator:
+    """A table of resetting counters indexed by the path-history hash.
+
+    ``update`` saturates the counter on a correct prediction and clears it
+    on a miss; ``is_high_confidence`` compares against the threshold. This
+    is the MICRO-96 paper's best small estimator (resetting counters beat
+    saturating ones because one miss voids accumulated trust).
+    """
+
+    def __init__(
+        self,
+        spec: DolcSpec,
+        threshold: int = 4,
+        counter_max: int = 15,
+    ) -> None:
+        if threshold < 1:
+            raise PredictorConfigError("threshold must be >= 1")
+        if counter_max < threshold:
+            raise PredictorConfigError("counter_max must be >= threshold")
+        self._spec = spec
+        self._threshold = threshold
+        self._counter_max = counter_max
+        self._counters: dict[int, int] = {}
+        self._path: list[int] = []
+
+    @property
+    def threshold(self) -> int:
+        """Counter value at which a prediction counts as high-confidence."""
+        return self._threshold
+
+    def _slot(self, task_addr: int) -> int:
+        return self._spec.index(task_addr, self._path)
+
+    def is_high_confidence(self, task_addr: int) -> bool:
+        """Query confidence for the upcoming prediction at this task."""
+        return (
+            self._counters.get(self._slot(task_addr), 0) >= self._threshold
+        )
+
+    def update(self, task_addr: int, correct: bool) -> None:
+        """Train on the prediction outcome and advance the path register."""
+        slot = self._slot(task_addr)
+        if correct:
+            counter = self._counters.get(slot, 0)
+            if counter < self._counter_max:
+                self._counters[slot] = counter + 1
+        else:
+            self._counters[slot] = 0
+        if self._spec.depth:
+            self._path.append(task_addr)
+            if len(self._path) > self._spec.depth:
+                del self._path[0]
+
+    def storage_bits(self) -> int:
+        """Full-capacity cost: one counter per table entry."""
+        bits_per_counter = max(1, self._counter_max.bit_length())
+        return self._spec.table_entries * bits_per_counter
+
+
+@dataclass(frozen=True)
+class ConfidenceStats:
+    """Quality metrics of a confidence estimator over one run."""
+
+    trials: int
+    high_confidence: int
+    high_correct: int
+    low_confidence: int
+    low_incorrect: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of predictions flagged high-confidence."""
+        return self.high_confidence / self.trials if self.trials else 0.0
+
+    @property
+    def high_confidence_accuracy(self) -> float:
+        """Accuracy among high-confidence predictions (PVP)."""
+        if not self.high_confidence:
+            return 0.0
+        return self.high_correct / self.high_confidence
+
+    @property
+    def pvn(self) -> float:
+        """Fraction of low-confidence predictions that actually missed."""
+        if not self.low_confidence:
+            return 0.0
+        return self.low_incorrect / self.low_confidence
+
+
+def simulate_confidence(
+    workload: Workload,
+    predictor: ExitPredictor,
+    estimator: ResettingConfidenceEstimator,
+    limit: int | None = None,
+) -> ConfidenceStats:
+    """Run predictor + estimator over a trace; return quality metrics."""
+    trace = workload.trace if limit is None else workload.trace.head(limit)
+    n_exits_of = workload.exit_counts()
+    task_addrs = trace.task_addr.tolist()
+    actual_exits = trace.exit_index.tolist()
+
+    trials = 0
+    high = 0
+    high_correct = 0
+    low = 0
+    low_incorrect = 0
+    for addr, actual in zip(task_addrs, actual_exits):
+        n_exits = n_exits_of[addr]
+        predicted = predictor.predict(addr, n_exits)
+        confident = estimator.is_high_confidence(addr)
+        correct = predicted == actual
+        trials += 1
+        if confident:
+            high += 1
+            if correct:
+                high_correct += 1
+        else:
+            low += 1
+            if not correct:
+                low_incorrect += 1
+        estimator.update(addr, correct)
+        predictor.update(addr, n_exits, actual)
+    return ConfidenceStats(
+        trials=trials,
+        high_confidence=high,
+        high_correct=high_correct,
+        low_confidence=low,
+        low_incorrect=low_incorrect,
+    )

@@ -1,0 +1,251 @@
+"""Real (finite-table) exit predictors (paper §5.2, §6.3).
+
+Four history-generation schemes over a shared pattern history table:
+
+* :class:`PathExitPredictor` — the paper's winner: PHT indexed by the
+  D-O-L-C(F) fold of the preceding task addresses plus the current one.
+* :class:`SimpleExitPredictor` — task address only (Table 4's "Simple");
+  exactly a depth-0 path predictor.
+* :class:`GlobalExitPredictor` — a single global register of 2-bit exit
+  outcomes, hashed with the current task address (exit-based history).
+* :class:`PerTaskExitPredictor` — PAp-style: a table of per-task history
+  registers selected by task address, then a PHT (§5.2's PER, with the
+  finite history-register table the paper describes for real
+  implementations).
+
+The paper omits real GLOBAL/PER results for space, noting that real PATH
+beats even the *ideal* versions of the others; the index hashing used here
+for GLOBAL/PER is therefore our own (gshare-style fold), documented in
+DESIGN.md.
+
+All schemes implement the single-exit-task optimisation of §6.1: one-exit
+tasks are predicted without consulting or updating the PHT (toggle with
+``update_on_single_exit=True`` for the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.errors import PredictorConfigError
+from repro.predictors.automata import (
+    MultiwayAutomaton,
+    make_automaton_factory,
+)
+from repro.predictors.base import ExitPredictor
+from repro.predictors.folding import DolcSpec
+from repro.predictors.pht import PatternHistoryTable
+from repro.utils.bits import bit_mask, fold_xor
+
+_ALIGN_SHIFT = 2  # word-aligned task addresses
+
+
+def _fold_to(value: int, width: int, index_bits: int) -> int:
+    """Fold a ``width``-bit value down to ``index_bits`` by XOR.
+
+    Pads the width up to a multiple of ``index_bits`` first, so any
+    combination of history and address bits can be reduced to a table index.
+    """
+    if width <= index_bits:
+        return value & bit_mask(index_bits)
+    folds = -(-width // index_bits)  # ceil
+    return fold_xor(value, folds * index_bits, folds)
+
+
+def _resolve_factory(
+    automaton: str | Callable[[], MultiwayAutomaton]
+) -> Callable[[], MultiwayAutomaton]:
+    if callable(automaton):
+        return automaton
+    return make_automaton_factory(automaton)
+
+
+class PathExitPredictor(ExitPredictor):
+    """Path-based exit predictor with DOLC index construction (§6)."""
+
+    def __init__(
+        self,
+        spec: DolcSpec,
+        automaton: str | Callable[[], MultiwayAutomaton] = "LEH-2",
+        update_on_single_exit: bool = False,
+    ) -> None:
+        self._spec = spec
+        self._pht = PatternHistoryTable(
+            spec.index_bits, _resolve_factory(automaton)
+        )
+        self._update_on_single_exit = update_on_single_exit
+        self._path: deque[int] = deque(maxlen=max(1, spec.depth))
+        # The DOLC fold is the predictor's hottest operation; predict()
+        # caches its index so the paired update() (same task, same path)
+        # doesn't recompute it. Invalidated whenever the path shifts.
+        self._cached_index: tuple[int, int] | None = None
+
+    @property
+    def spec(self) -> DolcSpec:
+        """The index specification in force."""
+        return self._spec
+
+    def _index(self, task_addr: int) -> int:
+        cached = self._cached_index
+        if cached is not None and cached[0] == task_addr:
+            return cached[1]
+        index = self._spec.index(task_addr, self._path)
+        self._cached_index = (task_addr, index)
+        return index
+
+    def predict(self, task_addr: int, n_exits: int) -> int:
+        if n_exits == 1 and not self._update_on_single_exit:
+            return 0
+        prediction = self._pht.entry(self._index(task_addr)).predict()
+        return min(prediction, n_exits - 1)
+
+    def update(self, task_addr: int, n_exits: int, actual_exit: int) -> None:
+        if n_exits > 1 or self._update_on_single_exit:
+            self._pht.entry(self._index(task_addr)).update(actual_exit)
+        if self._spec.depth:
+            self._path.append(task_addr)
+            self._cached_index = None
+
+    def states_touched(self) -> int:
+        return self._pht.states_touched()
+
+    def storage_bits(self) -> int:
+        return self._pht.storage_bits()
+
+
+class SimpleExitPredictor(PathExitPredictor):
+    """Task-address-indexed predictor: Table 4's "Simple" baseline."""
+
+    def __init__(
+        self,
+        index_bits: int = 14,
+        automaton: str | Callable[[], MultiwayAutomaton] = "LEH-2",
+    ) -> None:
+        super().__init__(
+            DolcSpec(depth=0, older_bits=0, last_bits=0,
+                     current_bits=index_bits, folds=1),
+            automaton=automaton,
+        )
+
+
+class GlobalExitPredictor(ExitPredictor):
+    """Exit-based global history predictor (GLOBAL of §5.2), finite table.
+
+    The global register holds the last ``depth`` exit indices, 2 bits each;
+    the PHT index folds the register together with the current task address.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        index_bits: int = 14,
+        automaton: str | Callable[[], MultiwayAutomaton] = "LEH-2",
+        update_on_single_exit: bool = False,
+    ) -> None:
+        if depth < 0:
+            raise PredictorConfigError("history depth must be >= 0")
+        self._depth = depth
+        self._index_bits = index_bits
+        self._pht = PatternHistoryTable(
+            index_bits, _resolve_factory(automaton)
+        )
+        self._update_on_single_exit = update_on_single_exit
+        self._history = 0
+        self._history_mask = bit_mask(2 * depth) if depth else 0
+
+    def _index(self, task_addr: int) -> int:
+        addr_bits = (task_addr >> _ALIGN_SHIFT) & bit_mask(self._index_bits)
+        if not self._depth:
+            return addr_bits
+        combined = (self._history << self._index_bits) | addr_bits
+        return _fold_to(
+            combined, 2 * self._depth + self._index_bits, self._index_bits
+        )
+
+    def predict(self, task_addr: int, n_exits: int) -> int:
+        if n_exits == 1 and not self._update_on_single_exit:
+            return 0
+        prediction = self._pht.entry(self._index(task_addr)).predict()
+        return min(prediction, n_exits - 1)
+
+    def update(self, task_addr: int, n_exits: int, actual_exit: int) -> None:
+        if n_exits > 1 or self._update_on_single_exit:
+            self._pht.entry(self._index(task_addr)).update(actual_exit)
+        if self._depth:
+            self._history = (
+                (self._history << 2) | actual_exit
+            ) & self._history_mask
+
+    def states_touched(self) -> int:
+        return self._pht.states_touched()
+
+    def storage_bits(self) -> int:
+        return self._pht.storage_bits() + 2 * self._depth
+
+
+class PerTaskExitPredictor(ExitPredictor):
+    """Per-task exit history predictor (PER of §5.2), finite tables.
+
+    A history-register table (HRT) of ``2**hrt_index_bits`` registers is
+    selected by task address; each register records the last ``depth`` exits
+    of the tasks mapping to it. The PHT index folds the selected register
+    with the current task address. This approximates — but, as the paper
+    notes, does not guarantee — a one-to-one task/history relationship.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        index_bits: int = 14,
+        hrt_index_bits: int = 12,
+        automaton: str | Callable[[], MultiwayAutomaton] = "LEH-2",
+        update_on_single_exit: bool = False,
+    ) -> None:
+        if depth < 0:
+            raise PredictorConfigError("history depth must be >= 0")
+        self._depth = depth
+        self._index_bits = index_bits
+        self._hrt_index_bits = hrt_index_bits
+        self._pht = PatternHistoryTable(
+            index_bits, _resolve_factory(automaton)
+        )
+        self._update_on_single_exit = update_on_single_exit
+        self._hrt: dict[int, int] = {}
+        self._history_mask = bit_mask(2 * depth) if depth else 0
+
+    def _hrt_index(self, task_addr: int) -> int:
+        return (task_addr >> _ALIGN_SHIFT) & bit_mask(self._hrt_index_bits)
+
+    def _index(self, task_addr: int) -> int:
+        addr_bits = (task_addr >> _ALIGN_SHIFT) & bit_mask(self._index_bits)
+        if not self._depth:
+            return addr_bits
+        history = self._hrt.get(self._hrt_index(task_addr), 0)
+        combined = (history << self._index_bits) | addr_bits
+        return _fold_to(
+            combined, 2 * self._depth + self._index_bits, self._index_bits
+        )
+
+    def predict(self, task_addr: int, n_exits: int) -> int:
+        if n_exits == 1 and not self._update_on_single_exit:
+            return 0
+        prediction = self._pht.entry(self._index(task_addr)).predict()
+        return min(prediction, n_exits - 1)
+
+    def update(self, task_addr: int, n_exits: int, actual_exit: int) -> None:
+        if n_exits > 1 or self._update_on_single_exit:
+            self._pht.entry(self._index(task_addr)).update(actual_exit)
+        if self._depth:
+            hrt_index = self._hrt_index(task_addr)
+            history = self._hrt.get(hrt_index, 0)
+            self._hrt[hrt_index] = (
+                (history << 2) | actual_exit
+            ) & self._history_mask
+
+    def states_touched(self) -> int:
+        return self._pht.states_touched()
+
+    def storage_bits(self) -> int:
+        hrt_bits = (1 << self._hrt_index_bits) * 2 * self._depth
+        return self._pht.storage_bits() + hrt_bits

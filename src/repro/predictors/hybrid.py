@@ -1,0 +1,88 @@
+"""Tournament (hybrid) exit prediction.
+
+Figure 7 shows no single history scheme wins everywhere: PATH dominates
+except on sc, where per-task cyclic behaviour favours PER. A McFarling-style
+tournament predictor [10] resolves this at run time: a chooser table of
+2-bit counters, indexed by task address, tracks which component has been
+more accurate *for this task* and selects it. This is a natural extension
+the paper leaves open; the ``ext_hybrid`` experiment measures it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PredictorConfigError
+from repro.predictors.base import ExitPredictor
+from repro.utils.bits import bit_mask
+
+_ALIGN_SHIFT = 2
+_CHOOSER_MAX = 3
+_CHOOSER_INIT = 2  # weakly prefer the first component
+
+
+class TournamentExitPredictor(ExitPredictor):
+    """Selects between two exit predictors with a per-task chooser.
+
+    The chooser counter saturates toward the component that has been
+    correct when the two disagreed (agreeing outcomes teach it nothing,
+    exactly as in McFarling's combining predictor).
+    """
+
+    def __init__(
+        self,
+        first: ExitPredictor,
+        second: ExitPredictor,
+        chooser_index_bits: int = 12,
+    ) -> None:
+        if chooser_index_bits < 1:
+            raise PredictorConfigError("chooser needs >= 1 index bit")
+        self._first = first
+        self._second = second
+        self._chooser_index_bits = chooser_index_bits
+        self._chooser: dict[int, int] = {}
+        self._pending: tuple[int, int] | None = None
+
+    def _slot(self, task_addr: int) -> int:
+        return (task_addr >> _ALIGN_SHIFT) & bit_mask(
+            self._chooser_index_bits
+        )
+
+    def predict(self, task_addr: int, n_exits: int) -> int:
+        first_prediction = self._first.predict(task_addr, n_exits)
+        second_prediction = self._second.predict(task_addr, n_exits)
+        self._pending = (first_prediction, second_prediction)
+        counter = self._chooser.get(self._slot(task_addr), _CHOOSER_INIT)
+        return (
+            first_prediction if counter >= 2 else second_prediction
+        )
+
+    def update(self, task_addr: int, n_exits: int, actual_exit: int) -> None:
+        if self._pending is not None and n_exits > 1:
+            first_prediction, second_prediction = self._pending
+            first_correct = first_prediction == actual_exit
+            second_correct = second_prediction == actual_exit
+            if first_correct != second_correct:
+                slot = self._slot(task_addr)
+                counter = self._chooser.get(slot, _CHOOSER_INIT)
+                if first_correct:
+                    counter = min(_CHOOSER_MAX, counter + 1)
+                else:
+                    counter = max(0, counter - 1)
+                self._chooser[slot] = counter
+        self._pending = None
+        self._first.update(task_addr, n_exits, actual_exit)
+        self._second.update(task_addr, n_exits, actual_exit)
+
+    def states_touched(self) -> int:
+        return (
+            self._first.states_touched()
+            + self._second.states_touched()
+            + len(self._chooser)
+        )
+
+    def storage_bits(self) -> int:
+        chooser_bits = (1 << self._chooser_index_bits) * 2
+        return (
+            self._first.storage_bits()
+            + self._second.storage_bits()
+            + chooser_bits
+        )

@@ -1,0 +1,57 @@
+"""Pattern history table: a table of multi-way prediction automata.
+
+Entries are created lazily — untouched indices cost nothing in simulation
+and the number of touched entries is itself a measured quantity (Figure 11).
+Hardware storage accounting always charges the full table, of course.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import PredictorConfigError
+from repro.predictors.automata import MultiwayAutomaton
+
+
+class PatternHistoryTable:
+    """A 2^index_bits-entry table of prediction automata."""
+
+    def __init__(
+        self,
+        index_bits: int,
+        automaton_factory: Callable[[], MultiwayAutomaton],
+    ) -> None:
+        if index_bits < 1:
+            raise PredictorConfigError("PHT needs >= 1 index bit")
+        self._index_bits = index_bits
+        self._factory = automaton_factory
+        self._entries: dict[int, MultiwayAutomaton] = {}
+
+    @property
+    def index_bits(self) -> int:
+        """Width of the table index."""
+        return self._index_bits
+
+    @property
+    def n_entries(self) -> int:
+        """Total table capacity."""
+        return 1 << self._index_bits
+
+    def entry(self, index: int) -> MultiwayAutomaton:
+        """Return the automaton at ``index``, creating it on first touch."""
+        if not 0 <= index < self.n_entries:
+            raise PredictorConfigError(
+                f"index {index} out of range for {self._index_bits}-bit PHT"
+            )
+        automaton = self._entries.get(index)
+        if automaton is None:
+            automaton = self._entries[index] = self._factory()
+        return automaton
+
+    def states_touched(self) -> int:
+        """Distinct entries exercised so far (Figure 11's 'states touched')."""
+        return len(self._entries)
+
+    def storage_bits(self) -> int:
+        """Full-capacity storage cost in bits."""
+        return self.n_entries * self._factory().bits_per_entry()

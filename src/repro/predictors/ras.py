@@ -1,0 +1,62 @@
+"""Return address stack (paper §4.2, §5.3).
+
+"In Multiscalar processors, as in scalar processors, a reasonably deep RAS
+is nearly perfect in predicting return addresses." The stack is a circular
+hardware buffer: pushing beyond capacity overwrites the oldest entry, and
+popping an empty stack yields no prediction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PredictorConfigError
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return-address stack."""
+
+    def __init__(self, depth: int = 32, address_bits: int = 32) -> None:
+        if depth < 1:
+            raise PredictorConfigError("RAS depth must be >= 1")
+        self._depth = depth
+        self._address_bits = address_bits
+        self._entries: list[int] = [0] * depth
+        self._top = 0  # index of the next free slot
+        self._count = 0
+
+    @property
+    def depth(self) -> int:
+        """Capacity of the stack."""
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, address: int) -> None:
+        """Push a return address; overwrites the oldest entry when full."""
+        self._entries[self._top] = address
+        self._top = (self._top + 1) % self._depth
+        if self._count < self._depth:
+            self._count += 1
+
+    def pop(self) -> int | None:
+        """Pop and return the youngest address, or None when empty."""
+        if self._count == 0:
+            return None
+        self._top = (self._top - 1) % self._depth
+        self._count -= 1
+        return self._entries[self._top]
+
+    def peek(self) -> int | None:
+        """Return the youngest address without popping, or None when empty."""
+        if self._count == 0:
+            return None
+        return self._entries[self._top - 1]
+
+    def clear(self) -> None:
+        """Empty the stack (used on context resets in tests)."""
+        self._top = 0
+        self._count = 0
+
+    def storage_bits(self) -> int:
+        """Hardware cost: one address per slot."""
+        return self._depth * self._address_bits

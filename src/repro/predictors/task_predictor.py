@@ -1,0 +1,198 @@
+"""Composed next-task predictors (paper §5.3, §5.4, §6.4.2; Table 3).
+
+:class:`HeaderTaskPredictor` is the paper's full mechanism: an exit
+predictor chooses one of the header's exits, then the target is resolved by
+exit type — header target for BRANCH/CALL, return address stack for RETURN,
+correlated task target buffer for the indirect types. Call-type exits push
+their header return address onto the RAS.
+
+:class:`CttbOnlyTaskPredictor` is the headerless alternative of §5.4: the
+whole next-task address comes from one correlated target buffer, every exit
+type competing for its entries and no RAS possible — cheaper to sequence,
+4–54% worse at 4x the storage (Table 3).
+
+:class:`PerfectTaskPredictor` replays the trace: the upper bound of Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PredictorConfigError, SimulationError
+from repro.isa.controlflow import ControlFlowType
+from repro.isa.program import MultiscalarProgram
+from repro.predictors.base import ExitPredictor, NextTaskPredictor
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.ttb import CorrelatedTaskTargetBuffer
+from repro.synth.trace import CF_TYPE_CODES, TaskTrace
+
+_CF_RETURN = CF_TYPE_CODES[ControlFlowType.RETURN]
+_CF_CALL = CF_TYPE_CODES[ControlFlowType.CALL]
+_CF_ICALL = CF_TYPE_CODES[ControlFlowType.INDIRECT_CALL]
+_CF_IBRANCH = CF_TYPE_CODES[ControlFlowType.INDIRECT_BRANCH]
+
+#: Sentinel predicted address when no structure can supply a target.
+NO_PREDICTION = 0
+
+
+class _TaskInfo:
+    """Flattened per-task header facts for fast lookup."""
+
+    __slots__ = ("n_exits", "cf_codes", "targets", "return_addrs")
+
+    def __init__(self, n_exits, cf_codes, targets, return_addrs):
+        self.n_exits = n_exits
+        self.cf_codes = cf_codes
+        self.targets = targets
+        self.return_addrs = return_addrs
+
+
+def _build_task_info(program: MultiscalarProgram) -> dict[int, _TaskInfo]:
+    info: dict[int, _TaskInfo] = {}
+    for task in program.tfg:
+        exits = task.header.exits
+        info[task.address] = _TaskInfo(
+            n_exits=len(exits),
+            cf_codes=tuple(CF_TYPE_CODES[e.cf_type] for e in exits),
+            targets=tuple(e.target for e in exits),
+            return_addrs=tuple(e.return_address for e in exits),
+        )
+    return info
+
+
+class HeaderTaskPredictor(NextTaskPredictor):
+    """Exit predictor + header targets + RAS + CTTB (the paper's design)."""
+
+    def __init__(
+        self,
+        program: MultiscalarProgram,
+        exit_predictor: ExitPredictor,
+        cttb: CorrelatedTaskTargetBuffer,
+        ras: ReturnAddressStack | None = None,
+    ) -> None:
+        self._info = _build_task_info(program)
+        self._exit_predictor = exit_predictor
+        self._cttb = cttb
+        self._ras = ras if ras is not None else ReturnAddressStack(depth=32)
+        self._last_predicted_exit: int | None = None
+
+    @property
+    def exit_predictor(self) -> ExitPredictor:
+        """The exit-choice component."""
+        return self._exit_predictor
+
+    def _task(self, task_addr: int) -> _TaskInfo:
+        try:
+            return self._info[task_addr]
+        except KeyError:
+            raise SimulationError(
+                f"no task at {task_addr:#x} in the predictor's program"
+            ) from None
+
+    def predict(self, task_addr: int) -> int:
+        task = self._task(task_addr)
+        exit_index = self._exit_predictor.predict(task_addr, task.n_exits)
+        self._last_predicted_exit = exit_index
+        cf_code = task.cf_codes[exit_index]
+        if cf_code == _CF_RETURN:
+            predicted = self._ras.peek()
+        elif cf_code in (_CF_IBRANCH, _CF_ICALL):
+            predicted = self._cttb.predict(task_addr)
+        else:  # BRANCH / CALL: the compiler put the target in the header
+            predicted = task.targets[exit_index]
+        return predicted if predicted is not None else NO_PREDICTION
+
+    @property
+    def last_predicted_exit(self) -> int | None:
+        """Exit index chosen by the most recent ``predict`` call."""
+        return self._last_predicted_exit
+
+    def update(
+        self,
+        task_addr: int,
+        actual_exit: int,
+        actual_cf_code: int,
+        actual_next_addr: int,
+    ) -> None:
+        task = self._task(task_addr)
+        self._exit_predictor.update(task_addr, task.n_exits, actual_exit)
+        if actual_cf_code in (_CF_IBRANCH, _CF_ICALL):
+            self._cttb.update(task_addr, actual_next_addr)
+        self._cttb.observe_step(task_addr)
+        # RAS tracks the actual (committed) call/return stream; this is the
+        # perfect-repair idealisation of §3.1.
+        if actual_cf_code == _CF_RETURN:
+            self._ras.pop()
+        elif actual_cf_code in (_CF_CALL, _CF_ICALL):
+            return_addr = task.return_addrs[actual_exit]
+            if return_addr is None:
+                raise SimulationError(
+                    f"call exit {actual_exit} of task {task_addr:#x} "
+                    "has no return address in its header"
+                )
+            self._ras.push(return_addr)
+
+    def storage_bits(self) -> int:
+        return (
+            self._exit_predictor.storage_bits()
+            + self._cttb.storage_bits()
+            + self._ras.storage_bits()
+        )
+
+
+class CttbOnlyTaskPredictor(NextTaskPredictor):
+    """Headerless prediction: the CTTB alone supplies the next address.
+
+    Every task's next address is predicted from (and trained into) one
+    path-indexed buffer, regardless of exit type. Return addresses can only
+    be learned by path correlation — no RAS is possible, which is the
+    scheme's main accuracy cost (§5.4).
+    """
+
+    def __init__(self, cttb: CorrelatedTaskTargetBuffer) -> None:
+        self._cttb = cttb
+
+    def predict(self, task_addr: int) -> int:
+        predicted = self._cttb.predict(task_addr)
+        return predicted if predicted is not None else NO_PREDICTION
+
+    def update(
+        self,
+        task_addr: int,
+        actual_exit: int,
+        actual_cf_code: int,
+        actual_next_addr: int,
+    ) -> None:
+        self._cttb.update(task_addr, actual_next_addr)
+        self._cttb.observe_step(task_addr)
+
+    def storage_bits(self) -> int:
+        return self._cttb.storage_bits()
+
+
+class PerfectTaskPredictor(NextTaskPredictor):
+    """Oracle predictor: replays the trace's actual successors (Table 4)."""
+
+    def __init__(self, trace: TaskTrace) -> None:
+        self._next_addr = trace.next_addr
+        self._task_addr = trace.task_addr
+        self._cursor = 0
+
+    def predict(self, task_addr: int) -> int:
+        if self._cursor >= len(self._next_addr):
+            raise SimulationError("perfect predictor ran past its trace")
+        if int(self._task_addr[self._cursor]) != task_addr:
+            raise PredictorConfigError(
+                "perfect predictor queried out of trace order"
+            )
+        return int(self._next_addr[self._cursor])
+
+    def update(
+        self,
+        task_addr: int,
+        actual_exit: int,
+        actual_cf_code: int,
+        actual_next_addr: int,
+    ) -> None:
+        self._cursor += 1
+
+    def storage_bits(self) -> int:
+        return 0

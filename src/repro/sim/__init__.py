@@ -1,0 +1,30 @@
+"""Simulators: trace-driven prediction accuracy and task-level timing.
+
+:mod:`repro.sim.functional` reproduces the paper's functional-simulation
+methodology (§3.1); :mod:`repro.sim.timing` reproduces the detailed timing
+simulation behind Table 4's IPC numbers at task granularity.
+"""
+
+from repro.sim.functional import (
+    simulate_exit_prediction,
+    simulate_indirect_target_prediction,
+    simulate_task_prediction,
+)
+from repro.sim.result import (
+    ExitPredictionStats,
+    TargetPredictionStats,
+    TaskPredictionStats,
+)
+from repro.sim.timing import TimingConfig, TimingResult, simulate_timing
+
+__all__ = [
+    "simulate_exit_prediction",
+    "simulate_indirect_target_prediction",
+    "simulate_task_prediction",
+    "ExitPredictionStats",
+    "TargetPredictionStats",
+    "TaskPredictionStats",
+    "TimingConfig",
+    "TimingResult",
+    "simulate_timing",
+]

@@ -1,0 +1,147 @@
+"""Trace-driven functional simulation of inter-task prediction.
+
+Implements the paper's methodology (§3.1) exactly:
+
+* **Update timing** — predictor structures are updated immediately after
+  each prediction; no staleness is modelled.
+* **Pollution** — simulation never proceeds past a mispredicted task, so
+  history always reflects the actual path (equivalent to a recovery
+  mechanism that repairs prediction state perfectly). Concretely, every
+  ``predict`` is followed by an ``update`` with the actual outcome.
+
+Three entry points mirror the paper's three measurement kinds: exit
+prediction (Figures 6/7/10/11), indirect target prediction (Figures 8/12),
+and full next-task address prediction (Table 3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import SimulationError
+from repro.predictors.base import ExitPredictor, NextTaskPredictor
+from repro.sim.result import (
+    ExitPredictionStats,
+    TargetPredictionStats,
+    TaskPredictionStats,
+)
+from repro.synth.trace import CF_TYPE_FROM_CODE
+from repro.synth.workloads import Workload
+
+#: Codes of INDIRECT_BRANCH / INDIRECT_CALL in trace arrays.
+_INDIRECT_CODES = (3, 4)
+
+
+def _exit_counts(workload: Workload) -> dict[int, int]:
+    """Map task address -> number of header exits."""
+    return workload.exit_counts()
+
+
+def simulate_exit_prediction(
+    workload: Workload,
+    predictor: ExitPredictor,
+    limit: int | None = None,
+) -> ExitPredictionStats:
+    """Run ``predictor`` over the workload's trace; return accuracy stats."""
+    trace = workload.trace if limit is None else workload.trace.head(limit)
+    n_exits_of = _exit_counts(workload)
+    task_addrs = trace.task_addr.tolist()
+    actual_exits = trace.exit_index.tolist()
+
+    predict = predictor.predict
+    update = predictor.update
+    trials = len(task_addrs)
+    misses = 0
+    multiway_trials = 0
+    multiway_misses = 0
+    for addr, actual in zip(task_addrs, actual_exits):
+        n_exits = n_exits_of[addr]
+        predicted = predict(addr, n_exits)
+        if n_exits > 1:
+            multiway_trials += 1
+            if predicted != actual:
+                misses += 1
+                multiway_misses += 1
+        elif predicted != actual:  # cannot happen for legal traces
+            raise SimulationError(
+                f"single-exit task {addr:#x} took exit {actual}"
+            )
+        update(addr, n_exits, actual)
+    return ExitPredictionStats(
+        trials=trials,
+        misses=misses,
+        multiway_trials=multiway_trials,
+        multiway_misses=multiway_misses,
+        states_touched=predictor.states_touched(),
+        storage_bits=predictor.storage_bits(),
+    )
+
+
+def simulate_indirect_target_prediction(
+    workload: Workload,
+    buffer,
+    limit: int | None = None,
+) -> TargetPredictionStats:
+    """Measure a TTB/CTTB on the workload's indirect exits.
+
+    ``buffer`` is any object with the target-buffer interface
+    (``predict``/``update``/``observe_step``/``entries_touched``/
+    ``storage_bits``). Every retired task is fed to ``observe_step`` so
+    path-indexed buffers track program progress; predictions happen only at
+    INDIRECT_BRANCH / INDIRECT_CALL exits.
+    """
+    trace = workload.trace if limit is None else workload.trace.head(limit)
+    task_addrs = trace.task_addr.tolist()
+    cf_codes = trace.cf_type.tolist()
+    next_addrs = trace.next_addr.tolist()
+
+    trials = 0
+    misses = 0
+    for addr, cf_code, next_addr in zip(task_addrs, cf_codes, next_addrs):
+        if cf_code in _INDIRECT_CODES:
+            trials += 1
+            if buffer.predict(addr) != next_addr:
+                misses += 1
+            buffer.update(addr, next_addr)
+        buffer.observe_step(addr)
+    return TargetPredictionStats(
+        trials=trials,
+        misses=misses,
+        entries_touched=buffer.entries_touched(),
+        storage_bits=buffer.storage_bits(),
+    )
+
+
+def simulate_task_prediction(
+    workload: Workload,
+    predictor: NextTaskPredictor,
+    limit: int | None = None,
+) -> TaskPredictionStats:
+    """Measure full next-task-address prediction accuracy (Table 3)."""
+    trace = workload.trace if limit is None else workload.trace.head(limit)
+    task_addrs = trace.task_addr.tolist()
+    actual_exits = trace.exit_index.tolist()
+    cf_codes = trace.cf_type.tolist()
+    next_addrs = trace.next_addr.tolist()
+
+    predict = predictor.predict
+    update = predictor.update
+    misses = 0
+    misses_by_type: Counter = Counter()
+    trials_by_type: Counter = Counter()
+    for addr, actual_exit, cf_code, next_addr in zip(
+        task_addrs, actual_exits, cf_codes, next_addrs
+    ):
+        type_name = str(CF_TYPE_FROM_CODE[cf_code])
+        trials_by_type[type_name] += 1
+        if predict(addr) != next_addr:
+            misses += 1
+            misses_by_type[type_name] += 1
+        update(addr, actual_exit, cf_code, next_addr)
+    return TaskPredictionStats(
+        trials=len(task_addrs),
+        address_misses=misses,
+        misses_by_type=dict(misses_by_type),
+        trials_by_type=dict(trials_by_type),
+        storage_bits=predictor.storage_bits(),
+    )

@@ -1,0 +1,111 @@
+"""Relaxed-idealisation simulation: history pollution and repair.
+
+The main functional simulator applies the paper's §3.1 idealisations. This
+module drops the *pollution* idealisation: when an exit prediction is
+wrong, the sequencer keeps predicting down the wrong path for a while
+(bounded by the number of speculative tasks the ring can hold), shifting
+wrong-path task addresses into the history register, before the mispredict
+resolves and the repair policy runs.
+
+Wrong-path task addresses are derived the way the hardware would derive
+them: follow the predicted exit's header target; a wrong path ends early
+if it reaches an exit whose target the header does not give (returns and
+indirect transfers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.speculative import SpeculativePathPredictor
+from repro.synth.workloads import Workload
+
+
+@dataclass(frozen=True)
+class RelaxedPredictionStats:
+    """Outcome of a speculative-history run.
+
+    Attributes:
+        trials: Dynamic task predictions of the committed (actual) path.
+        misses: Wrong exit predictions on the committed path.
+        wrong_path_predictions: Extra predictions issued down wrong paths
+            (pure pollution; they have no accuracy of their own).
+    """
+
+    trials: int
+    misses: int
+    wrong_path_predictions: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Committed-path miss rate (comparable to the ideal simulator's)."""
+        return self.misses / self.trials if self.trials else 0.0
+
+
+def simulate_speculative_exit_prediction(
+    workload: Workload,
+    predictor: SpeculativePathPredictor,
+    wrong_path_depth: int = 4,
+    limit: int | None = None,
+) -> RelaxedPredictionStats:
+    """Run a speculative-history predictor with wrong-path pollution.
+
+    ``wrong_path_depth`` bounds how many wrong-path tasks are fetched and
+    predicted before the mispredict resolves — in hardware this is at most
+    the number of speculative processing units.
+    """
+    trace = workload.trace if limit is None else workload.trace.head(limit)
+    info: dict[int, tuple[int, tuple]] = {}
+    for task in workload.compiled.program.tfg:
+        info[task.address] = (
+            task.n_exits,
+            tuple(e.target for e in task.header.exits),
+        )
+
+    task_addrs = trace.task_addr.tolist()
+    actual_exits = trace.exit_index.tolist()
+
+    trials = 0
+    misses = 0
+    wrong_path_predictions = 0
+    for addr, actual in zip(task_addrs, actual_exits):
+        n_exits, targets = info[addr]
+        predicted = predictor.predict(addr, n_exits)
+        trials += 1
+        wrong = predicted != actual
+        if wrong:
+            misses += 1
+            wrong_path_predictions += _pollute(
+                predictor, info, targets[predicted], wrong_path_depth
+            )
+        predictor.resolve(addr, n_exits, actual, was_wrong_path=wrong)
+    return RelaxedPredictionStats(
+        trials=trials,
+        misses=misses,
+        wrong_path_predictions=wrong_path_predictions,
+    )
+
+
+def _pollute(
+    predictor: SpeculativePathPredictor,
+    info: dict[int, tuple[int, tuple]],
+    wrong_target: int | None,
+    depth: int,
+) -> int:
+    """Predict down the wrong path, polluting history; return step count.
+
+    Wrong-path predictions are never resolved (the hardware squashes those
+    tasks before completion), so they train nothing — they only shift
+    addresses into the speculative history register.
+    """
+    steps = 0
+    current = wrong_target
+    while current is not None and steps < depth:
+        entry = info.get(current)
+        if entry is None:
+            break
+        n_exits, targets = entry
+        predicted = predictor.predict_wrong_path(current, n_exits)
+        steps += 1
+        current = targets[predicted]
+    return steps

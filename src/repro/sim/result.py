@@ -1,0 +1,93 @@
+"""Result records produced by the functional simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExitPredictionStats:
+    """Outcome of an exit-prediction run (Figures 6, 7, 10, 11).
+
+    Attributes:
+        trials: Dynamic task predictions made (every trace record).
+        misses: Predictions whose exit index was wrong.
+        multiway_trials: Predictions for tasks with more than one exit —
+            single-exit tasks are trivially correct.
+        multiway_misses: Of those, how many missed.
+        states_touched: Distinct predictor states exercised (Figure 11).
+        storage_bits: Hardware budget of the configuration (0 for ideal).
+    """
+
+    trials: int
+    misses: int
+    multiway_trials: int
+    multiway_misses: int
+    states_touched: int
+    storage_bits: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over all dynamic tasks."""
+        return self.misses / self.trials if self.trials else 0.0
+
+    @property
+    def multiway_miss_rate(self) -> float:
+        """Miss rate over multi-exit tasks only."""
+        if not self.multiway_trials:
+            return 0.0
+        return self.multiway_misses / self.multiway_trials
+
+
+@dataclass(frozen=True)
+class TargetPredictionStats:
+    """Outcome of an indirect-target prediction run (Figures 8, 12).
+
+    Attributes:
+        trials: Indirect-exit records predicted.
+        misses: Wrong or absent target predictions.
+        entries_touched: Distinct buffer slots exercised.
+        storage_bits: Hardware budget of the buffer (0 for ideal).
+    """
+
+    trials: int
+    misses: int
+    entries_touched: int
+    storage_bits: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Target miss rate over indirect exits."""
+        return self.misses / self.trials if self.trials else 0.0
+
+
+@dataclass(frozen=True)
+class TaskPredictionStats:
+    """Outcome of a full next-task-address prediction run (Table 3).
+
+    Attributes:
+        trials: Dynamic task predictions made.
+        address_misses: Predictions whose next-task address was wrong.
+        misses_by_type: Address misses broken down by the *actual* exit's
+            control-flow type name.
+        trials_by_type: Trials broken down the same way.
+        storage_bits: Total hardware budget of the predictor.
+    """
+
+    trials: int
+    address_misses: int
+    misses_by_type: dict[str, int] = field(default_factory=dict)
+    trials_by_type: dict[str, int] = field(default_factory=dict)
+    storage_bits: int = 0
+
+    @property
+    def address_miss_rate(self) -> float:
+        """Next-address miss rate over all dynamic tasks."""
+        return self.address_misses / self.trials if self.trials else 0.0
+
+    def miss_rate_for(self, cf_type_name: str) -> float:
+        """Address miss rate restricted to one control-flow type."""
+        trials = self.trials_by_type.get(cf_type_name, 0)
+        if not trials:
+            return 0.0
+        return self.misses_by_type.get(cf_type_name, 0) / trials

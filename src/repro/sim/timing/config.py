@@ -1,0 +1,68 @@
+"""Timing-model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PredictorConfigError
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Parameters of the task-granularity Multiscalar timing model.
+
+    The defaults model the paper's evaluation machine: "four 2-way
+    out-of-order processing units" (§7) with single-cycle task dispatch.
+
+    Attributes:
+        n_units: Processing units in the ring.
+        issue_width: Peak instructions per cycle per unit.
+        task_startup_cycles: Pipeline fill cost when a task starts on a unit
+            (header load, first fetch).
+        intra_mispredict_penalty: Cycles lost per intra-task branch
+            mispredict (bimodal predictor, §2.2).
+        forward_fraction: Fraction of a task's execution that must trail its
+            program-order predecessor, modelling inter-task register/memory
+            forwarding. 0 = fully independent tasks; 1 = fully serial.
+        dispatch_interval: Cycles between successive task dispatches while
+            predictions flow (the sequencer's throughput).
+        task_mispredict_penalty: Extra cycles to redirect the sequencer
+            after a mispredicted task resolves at completion.
+        commit_interval: Minimum cycles between successive task commits
+            (head-pointer bump rate).
+        dependence_aware: When True, the forwarding stall applies only
+            between tasks with an actual register dependence (predecessor's
+            header create mask intersects the successor's use mask);
+            independent neighbours overlap freely. When False (default,
+            matching the calibrated Table 4 model) every task pair pays the
+            forwarding fraction.
+    """
+
+    n_units: int = 4
+    issue_width: int = 2
+    task_startup_cycles: int = 2
+    intra_mispredict_penalty: int = 3
+    forward_fraction: float = 0.62
+    dispatch_interval: int = 1
+    task_mispredict_penalty: int = 3
+    commit_interval: int = 1
+    dependence_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1:
+            raise PredictorConfigError("need >= 1 processing unit")
+        if self.issue_width < 1:
+            raise PredictorConfigError("issue width must be >= 1")
+        if not 0.0 <= self.forward_fraction <= 1.0:
+            raise PredictorConfigError(
+                "forward_fraction must be in [0, 1]"
+            )
+        for name in (
+            "task_startup_cycles",
+            "intra_mispredict_penalty",
+            "dispatch_interval",
+            "task_mispredict_penalty",
+            "commit_interval",
+        ):
+            if getattr(self, name) < 0:
+                raise PredictorConfigError(f"{name} must be >= 0")

@@ -1,0 +1,64 @@
+"""The circular queue of processing units (paper §2.2, Figure 2).
+
+"The processing units are arranged in a ring [...] The ring operates as a
+circular queue with a head and a tail pointer. Tasks commit in strictly FIFO
+order." For the task-granularity model the ring only needs to answer one
+question per dispatch: when does the unit about to receive task *i* become
+free — i.e., when did its previous occupant (task *i − n_units*) commit?
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class ProcessingRing:
+    """Tracks per-unit commit times for round-robin task placement."""
+
+    def __init__(self, n_units: int) -> None:
+        if n_units < 1:
+            raise SimulationError("a ring needs at least one unit")
+        self._n_units = n_units
+        self._unit_free_at = [0] * n_units
+        self._next_unit = 0
+        self._last_commit = 0
+
+    @property
+    def n_units(self) -> int:
+        """Number of processing units in the ring."""
+        return self._n_units
+
+    @property
+    def last_commit_time(self) -> int:
+        """Cycle at which the most recently committed task retired."""
+        return self._last_commit
+
+    def unit_free_time(self) -> int:
+        """Cycle at which the unit next in round-robin order is free."""
+        return self._unit_free_at[self._next_unit]
+
+    def occupy_and_commit(self, commit_time: int) -> None:
+        """Advance the tail onto the next unit; record when it will retire.
+
+        In the analytic model a task's unit is busy from dispatch until the
+        task commits, so recording the commit time both occupies the unit
+        and schedules its release.
+        """
+        if commit_time < self._last_commit:
+            raise SimulationError(
+                "tasks must commit in FIFO order "
+                f"({commit_time} < {self._last_commit})"
+            )
+        self._unit_free_at[self._next_unit] = commit_time
+        self._next_unit = (self._next_unit + 1) % self._n_units
+        self._last_commit = commit_time
+
+    def squash_speculative(self, restart_time: int) -> None:
+        """Free every unit holding squashed (uncommitted) work.
+
+        After a task misprediction resolves, all younger tasks are
+        discarded; their units become available at the restart time.
+        """
+        for unit in range(self._n_units):
+            if self._unit_free_at[unit] > restart_time:
+                self._unit_free_at[unit] = restart_time

@@ -1,0 +1,56 @@
+"""Synthetic workloads: the SPEC92 substitute.
+
+The paper evaluates on five SPEC92 integer benchmarks compiled by the
+Wisconsin Multiscalar compiler. Neither is available, so this package
+*generates* programs — call graphs of functions built from loops, branches,
+call sites and switches, each with an attached runtime behaviour model — and
+*executes* them to produce task-level traces. Per-benchmark profiles tune the
+generator so each synthetic workload reproduces the statistical fingerprint
+the paper reports for its namesake (Table 2, Figures 3 and 4) and the control
+structure that drives predictor behaviour (path correlation, per-task cycles,
+data-dependent noise, context-dependent indirect targets).
+"""
+
+from repro.synth.behavior import (
+    BehaviorContext,
+    BiasedChoice,
+    ChoiceBehavior,
+    ContextChoice,
+    DepthGuardChoice,
+    FixedChoice,
+    HistoryParityChoice,
+    LoopBehavior,
+    PathCorrelatedChoice,
+    PeriodicChoice,
+    PhaseChoice,
+    TaskWindowChoice,
+)
+from repro.synth.executor import TraceExecutor
+from repro.synth.generator import SyntheticProgramGenerator
+from repro.synth.profiles import BenchmarkProfile, PROFILES, PaperStats
+from repro.synth.trace import TaskTrace, TraceBuilder
+from repro.synth.workloads import Workload, load_workload
+
+__all__ = [
+    "BehaviorContext",
+    "ChoiceBehavior",
+    "FixedChoice",
+    "BiasedChoice",
+    "LoopBehavior",
+    "PeriodicChoice",
+    "HistoryParityChoice",
+    "PathCorrelatedChoice",
+    "TaskWindowChoice",
+    "PhaseChoice",
+    "ContextChoice",
+    "DepthGuardChoice",
+    "SyntheticProgramGenerator",
+    "TraceExecutor",
+    "BenchmarkProfile",
+    "PaperStats",
+    "PROFILES",
+    "TaskTrace",
+    "TraceBuilder",
+    "Workload",
+    "load_workload",
+]

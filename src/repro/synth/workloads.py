@@ -1,0 +1,157 @@
+"""Workload construction and caching.
+
+`load_workload("gcc")` is the one-stop entry point used by examples, tests
+and the experiment harness: it generates the profile's synthetic program,
+compiles it to tasks, executes it to the requested trace length, and caches
+both in memory (per process) and on disk (traces only, under
+``.repro-cache/``) so repeated experiment runs don't regenerate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiler import PartitionConfig, compile_program
+from repro.compiler.compiled import CompiledProgram
+from repro.synth.executor import TraceExecutor
+from repro.synth.generator import (
+    GENERATOR_VERSION,
+    SyntheticProgramGenerator,
+)
+from repro.synth.profiles import BenchmarkProfile, get_profile
+from repro.synth.trace import TaskTrace
+from repro.utils.hashing import stable_hash
+
+#: Set the REPRO_CACHE_DIR environment variable to move the trace cache.
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A ready-to-simulate workload: profile, compiled program, and trace."""
+
+    profile: BenchmarkProfile
+    compiled: CompiledProgram
+    trace: TaskTrace
+
+    @property
+    def name(self) -> str:
+        """Benchmark name (profile name)."""
+        return self.profile.name
+
+    def exit_counts(self) -> dict[int, int]:
+        """Map task address -> number of header exits (simulator helper)."""
+        return {
+            task.address: task.n_exits
+            for task in self.compiled.program.tfg
+        }
+
+
+_program_cache: dict[str, CompiledProgram] = {}
+_trace_cache: dict[tuple[str, int], TaskTrace] = {}
+
+
+def build_program(name: str) -> CompiledProgram:
+    """Generate and compile the named benchmark's program (memoised)."""
+    compiled = _program_cache.get(name)
+    if compiled is None:
+        profile = get_profile(name)
+        program_cfg = SyntheticProgramGenerator(profile).generate()
+        compiled = compile_program(
+            program_cfg,
+            name=profile.name,
+            config=PartitionConfig(
+                max_blocks_per_task=profile.max_blocks_per_task
+            ),
+        )
+        _program_cache[name] = compiled
+    return compiled
+
+
+def _cache_dir() -> Path | None:
+    """Directory for on-disk trace caching, or None to disable.
+
+    Defaults to ``.repro-cache`` in the working directory; set
+    ``REPRO_CACHE_DIR=off`` to disable.
+    """
+    configured = os.environ.get(_CACHE_ENV, ".repro-cache")
+    if configured.lower() in ("off", "none", ""):
+        return None
+    return Path(configured)
+
+
+def load_workload(name: str, n_tasks: int | None = None) -> Workload:
+    """Return the named benchmark workload with an ``n_tasks``-long trace.
+
+    ``n_tasks`` defaults to the profile's ``default_dynamic_tasks``. Traces
+    are cached in memory and on disk keyed by (benchmark, length, seed).
+    """
+    profile = get_profile(name)
+    if n_tasks is None:
+        n_tasks = profile.default_dynamic_tasks
+    compiled = build_program(name)
+
+    trace = _trace_cache.get((name, n_tasks))
+    if trace is None:
+        trace = _load_or_run(profile, compiled, n_tasks)
+        _trace_cache[(name, n_tasks)] = trace
+    return Workload(profile=profile, compiled=compiled, trace=trace)
+
+
+def _profile_fingerprint(profile: BenchmarkProfile) -> str:
+    """Cache-key component covering every generation-relevant input.
+
+    Any profile parameter change or generator semantics change must miss
+    the cache, otherwise stale traces would disagree with the regenerated
+    program's task addresses.
+    """
+    return format(
+        stable_hash(f"v{GENERATOR_VERSION}:{profile!r}") & 0xFFFF_FFFF, "08x"
+    )
+
+
+def _trace_matches_program(
+    trace: TaskTrace, compiled: CompiledProgram
+) -> bool:
+    """Cheap consistency check: every traced task must exist statically."""
+    addresses = np.fromiter(
+        (task.address for task in compiled.program.tfg), dtype=np.uint32
+    )
+    return bool(np.isin(trace.task_addr, addresses).all())
+
+
+def _load_or_run(
+    profile: BenchmarkProfile, compiled: CompiledProgram, n_tasks: int
+) -> TaskTrace:
+    cache_dir = _cache_dir()
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = cache_dir / (
+            f"{profile.name}-{_profile_fingerprint(profile)}"
+            f"-s{profile.seed}-n{n_tasks}.npz"
+        )
+        if cache_path.exists():
+            trace = TaskTrace.load(cache_path)
+            if _trace_matches_program(trace, compiled):
+                return trace
+            cache_path.unlink()  # stale cache from an older build
+    executor = TraceExecutor(
+        compiled,
+        seed=profile.seed,
+        phase_period=profile.phase_period,
+    )
+    trace = executor.run(n_tasks)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        trace.save(cache_path)
+    return trace
+
+
+def clear_caches() -> None:
+    """Drop the in-memory program and trace caches (tests use this)."""
+    _program_cache.clear()
+    _trace_cache.clear()

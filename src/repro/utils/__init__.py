@@ -1,0 +1,22 @@
+"""Shared low-level utilities: bit manipulation, deterministic RNG, statistics."""
+
+from repro.utils.bits import (
+    bit_mask,
+    extract_bits,
+    fold_xor,
+    low_bits,
+    required_bits,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.stats import CategoryTally, RateCounter
+
+__all__ = [
+    "bit_mask",
+    "extract_bits",
+    "fold_xor",
+    "low_bits",
+    "required_bits",
+    "DeterministicRng",
+    "CategoryTally",
+    "RateCounter",
+]

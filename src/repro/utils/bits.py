@@ -1,0 +1,82 @@
+"""Bit-manipulation primitives used by header encoding and index folding.
+
+The predictors in this library follow the paper's hardware-oriented index
+construction: concatenate address bits into an *intermediate index*, then
+XOR-fold it down to the width of the physical table (paper §6.1, Figure 9).
+These helpers implement the pieces of that pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask with the low ``width`` bits set.
+
+    >>> bit_mask(4)
+    15
+    """
+    if width < 0:
+        raise EncodingError(f"mask width must be >= 0, got {width}")
+    return (1 << width) - 1
+
+
+def low_bits(value: int, width: int) -> int:
+    """Return the low ``width`` bits of ``value``.
+
+    >>> low_bits(0b101101, 3)
+    5
+    """
+    return value & bit_mask(width)
+
+
+def extract_bits(value: int, lo: int, width: int) -> int:
+    """Return ``width`` bits of ``value`` starting at bit ``lo`` (LSB = 0).
+
+    >>> extract_bits(0b110100, 2, 3)
+    5
+    """
+    if lo < 0:
+        raise EncodingError(f"bit offset must be >= 0, got {lo}")
+    return (value >> lo) & bit_mask(width)
+
+
+def fold_xor(value: int, total_width: int, folds: int) -> int:
+    """XOR-fold ``value`` of ``total_width`` bits into ``total_width / folds`` bits.
+
+    The value is split into ``folds`` equal sub-fields which are XORed
+    together, exactly as the paper folds the intermediate index into the PHT
+    index (§6.1). ``total_width`` must be a multiple of ``folds``.
+
+    >>> fold_xor(0b1010_0110, 8, 2)  # 0b1010 ^ 0b0110
+    12
+    """
+    if folds < 1:
+        raise EncodingError(f"fold count must be >= 1, got {folds}")
+    if total_width < 0:
+        raise EncodingError(f"total width must be >= 0, got {total_width}")
+    if total_width % folds != 0:
+        raise EncodingError(
+            f"intermediate index width {total_width} is not divisible by "
+            f"fold count {folds}"
+        )
+    field_width = total_width // folds
+    mask = bit_mask(field_width)
+    folded = 0
+    for i in range(folds):
+        folded ^= (value >> (i * field_width)) & mask
+    return folded
+
+
+def required_bits(n_values: int) -> int:
+    """Return the number of bits needed to represent ``n_values`` distinct values.
+
+    >>> required_bits(4)
+    2
+    >>> required_bits(5)
+    3
+    """
+    if n_values < 1:
+        raise EncodingError(f"need at least one value, got {n_values}")
+    return max(1, (n_values - 1).bit_length())

@@ -1,0 +1,25 @@
+"""Stable (process-independent) hashing.
+
+Python's built-in ``hash`` on strings is salted per process, so it must never
+feed anything that has to be reproducible across runs. All label hashing in
+the library goes through :func:`stable_hash` (FNV-1a, 64-bit) instead.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(text: str) -> int:
+    """Return a deterministic 63-bit hash of ``text`` (FNV-1a)."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK64
+    return value >> 1  # keep it non-negative in signed contexts
+
+
+def mix_hash(a: int, b: int) -> int:
+    """Combine two hash values into one, order-sensitively."""
+    return ((a * 0x9E3779B97F4A7C15) ^ b) & _MASK64

@@ -1,0 +1,83 @@
+"""Small statistics helpers shared by simulators and experiments."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RateCounter:
+    """Counts trials and hits; reports a hit rate and a miss rate.
+
+    Used throughout the simulators for prediction accuracy bookkeeping.
+    """
+
+    trials: int = 0
+    hits: int = 0
+
+    def record(self, hit: bool) -> None:
+        """Record one trial with the given outcome."""
+        self.trials += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def misses(self) -> int:
+        """Number of recorded misses."""
+        return self.trials - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of trials that hit; 0.0 when no trials were recorded."""
+        return self.hits / self.trials if self.trials else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of trials that missed; 0.0 when no trials were recorded."""
+        return 1.0 - self.hit_rate if self.trials else 0.0
+
+    def merge(self, other: "RateCounter") -> None:
+        """Fold another counter's trials into this one."""
+        self.trials += other.trials
+        self.hits += other.hits
+
+
+@dataclass
+class CategoryTally:
+    """Counts occurrences per category and reports distributions.
+
+    Backs the exit-arity and exit-type breakdowns of Figures 3 and 4.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, category: Hashable, weight: int = 1) -> None:
+        """Add ``weight`` occurrences of ``category``."""
+        self.counts[category] += weight
+
+    def record_all(self, categories: Iterable[Hashable]) -> None:
+        """Record one occurrence of each category in ``categories``."""
+        for category in categories:
+            self.counts[category] += 1
+
+    @property
+    def total(self) -> int:
+        """Total occurrences across all categories."""
+        return sum(self.counts.values())
+
+    def fraction(self, category: Hashable) -> float:
+        """Fraction of occurrences in ``category``; 0.0 if nothing recorded."""
+        total = self.total
+        return self.counts[category] / total if total else 0.0
+
+    def distribution(self) -> dict[Hashable, float]:
+        """Return {category: fraction}, sorted by category."""
+        total = self.total
+        if not total:
+            return {}
+        return {
+            category: count / total
+            for category, count in sorted(self.counts.items(), key=lambda kv: str(kv[0]))
+        }

@@ -1,0 +1,40 @@
+"""Shared fixtures: small benchmark workloads, cached per test session."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Tests must not read or write the on-disk trace cache of a real checkout.
+os.environ.setdefault("REPRO_CACHE_DIR", "off")
+
+from repro.synth.workloads import load_workload  # noqa: E402
+
+#: Trace length used by fixture workloads: big enough for predictors to
+#: train, small enough to keep the suite fast.
+SMALL_TRACE = 20_000
+
+
+@pytest.fixture(scope="session")
+def gcc_workload():
+    """A small gcc workload (large task working set, indirect exits)."""
+    return load_workload("gcc", n_tasks=SMALL_TRACE)
+
+
+@pytest.fixture(scope="session")
+def compress_workload():
+    """A small compress workload (tiny working set, noisy branches)."""
+    return load_workload("compress", n_tasks=SMALL_TRACE)
+
+
+@pytest.fixture(scope="session")
+def sc_workload():
+    """A small sc workload (per-task cyclic behaviour)."""
+    return load_workload("sc", n_tasks=SMALL_TRACE)
+
+
+@pytest.fixture(scope="session")
+def xlisp_workload():
+    """A small xlisp workload (recursion, calls, indirect calls)."""
+    return load_workload("xlisp", n_tasks=SMALL_TRACE)

@@ -1,0 +1,174 @@
+"""Tests for the CFG substrate: blocks, graphs, analyses."""
+
+import pytest
+
+from repro.cfg.analysis import back_edges, reachable_blocks
+from repro.cfg.basicblock import (
+    BasicBlock,
+    TASK_ENDING_KINDS,
+    Terminator,
+    TerminatorKind,
+)
+from repro.cfg.graph import ControlFlowGraph, ProgramCFG
+from repro.errors import CFGError
+from repro.synth.behavior import FixedChoice
+
+from tests.helpers import block, call_program, diamond_program
+
+
+class TestTerminatorValidation:
+    def test_jump_needs_one_successor(self):
+        with pytest.raises(CFGError):
+            Terminator(kind=TerminatorKind.JUMP, successors=())
+        with pytest.raises(CFGError):
+            Terminator(kind=TerminatorKind.JUMP, successors=("a", "b"))
+
+    def test_cond_branch_needs_two_successors_and_behavior(self):
+        with pytest.raises(CFGError):
+            Terminator(
+                kind=TerminatorKind.COND_BRANCH,
+                successors=("a",),
+                behavior=FixedChoice(0),
+            )
+        with pytest.raises(CFGError):
+            Terminator(
+                kind=TerminatorKind.COND_BRANCH, successors=("a", "b")
+            )
+
+    def test_call_needs_callee_and_return_point(self):
+        with pytest.raises(CFGError):
+            Terminator(kind=TerminatorKind.CALL, successors=("ret",))
+        with pytest.raises(CFGError):
+            Terminator(kind=TerminatorKind.CALL, callee="f", successors=())
+
+    def test_return_has_no_successors(self):
+        with pytest.raises(CFGError):
+            Terminator(kind=TerminatorKind.RETURN, successors=("a",))
+
+    def test_indirect_jump_needs_behavior(self):
+        with pytest.raises(CFGError):
+            Terminator(
+                kind=TerminatorKind.INDIRECT_JUMP, successors=("a", "b")
+            )
+
+    def test_indirect_call_needs_callees_behavior_return(self):
+        with pytest.raises(CFGError):
+            Terminator(
+                kind=TerminatorKind.INDIRECT_CALL,
+                successors=("ret",),
+                behavior=FixedChoice(0),
+            )
+
+    def test_task_ending_kinds(self):
+        assert TerminatorKind.CALL in TASK_ENDING_KINDS
+        assert TerminatorKind.RETURN in TASK_ENDING_KINDS
+        assert TerminatorKind.COND_BRANCH not in TASK_ENDING_KINDS
+        assert TerminatorKind.JUMP not in TASK_ENDING_KINDS
+
+
+class TestBasicBlock:
+    def test_requires_instructions(self):
+        with pytest.raises(CFGError):
+            BasicBlock(
+                label="x",
+                terminator=Terminator(kind=TerminatorKind.RETURN),
+                instruction_count=0,
+            )
+
+    def test_ends_task_property(self):
+        assert block("a", TerminatorKind.RETURN).ends_task
+        assert not block("b", TerminatorKind.JUMP, ("a",)).ends_task
+
+
+class TestControlFlowGraph:
+    def test_duplicate_label_rejected(self):
+        cfg = ControlFlowGraph("f", entry_label="f.a")
+        cfg.add_block(block("f.a", TerminatorKind.RETURN))
+        with pytest.raises(CFGError):
+            cfg.add_block(block("f.a", TerminatorKind.RETURN))
+
+    def test_predecessor_counts(self):
+        program = diamond_program()
+        cfg = program.function("main")
+        counts = cfg.predecessor_counts()
+        assert counts["main.join"] == 2
+        assert counts["main.cond"] == 1
+        assert counts["main.entry"] == 0
+
+    def test_validate_requires_return(self):
+        cfg = ControlFlowGraph("f", entry_label="f.a")
+        cfg.add_block(block("f.a", TerminatorKind.JUMP, ("f.a",)))
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+    def test_validate_catches_dangling_arc(self):
+        cfg = ControlFlowGraph("f", entry_label="f.a")
+        cfg.add_block(block("f.a", TerminatorKind.JUMP, ("f.missing",)))
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+    def test_unknown_block_lookup(self):
+        cfg = ControlFlowGraph("f", entry_label="f.a")
+        with pytest.raises(CFGError):
+            cfg.block("nope")
+
+
+class TestProgramCFG:
+    def test_validate_catches_unknown_callee(self):
+        program = ProgramCFG(main="main")
+        cfg = ControlFlowGraph("main", entry_label="main.entry")
+        cfg.add_block(
+            block(
+                "main.entry",
+                TerminatorKind.CALL,
+                ("main.ret",),
+                callee="ghost",
+            )
+        )
+        cfg.add_block(block("main.ret", TerminatorKind.RETURN))
+        program.add_function(cfg)
+        with pytest.raises(CFGError):
+            program.validate()
+
+    def test_validate_requires_main(self):
+        program = ProgramCFG(main="main")
+        with pytest.raises(CFGError):
+            program.validate()
+
+    def test_call_program_validates(self):
+        call_program().validate()
+
+    def test_duplicate_function_rejected(self):
+        program = call_program()
+        with pytest.raises(CFGError):
+            program.add_function(ControlFlowGraph("f", entry_label="x"))
+
+
+class TestAnalyses:
+    def test_reachable_blocks_full_diamond(self):
+        cfg = diamond_program().function("main")
+        assert reachable_blocks(cfg) == set(cfg.labels())
+
+    def test_unreachable_block_excluded(self):
+        cfg = ControlFlowGraph("f", entry_label="f.a")
+        cfg.add_block(block("f.a", TerminatorKind.RETURN))
+        cfg.add_block(block("f.dead", TerminatorKind.JUMP, ("f.a",)))
+        assert reachable_blocks(cfg) == {"f.a"}
+
+    def test_back_edge_detection(self):
+        cfg = ControlFlowGraph("f", entry_label="f.h")
+        cfg.add_block(
+            block(
+                "f.h",
+                TerminatorKind.COND_BRANCH,
+                ("f.body", "f.ret"),
+                behavior=FixedChoice(0),
+            )
+        )
+        cfg.add_block(block("f.body", TerminatorKind.JUMP, ("f.h",)))
+        cfg.add_block(block("f.ret", TerminatorKind.RETURN))
+        assert back_edges(cfg) == {("f.body", "f.h")}
+
+    def test_acyclic_graph_has_no_back_edges(self):
+        cfg = diamond_program().function("main")
+        assert back_edges(cfg) == set()

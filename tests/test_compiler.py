@@ -1,0 +1,182 @@
+"""Tests for the task partitioner and compile pipeline."""
+
+import pytest
+
+from repro.cfg.basicblock import TerminatorKind
+from repro.cfg.graph import ControlFlowGraph, ProgramCFG
+from repro.compiler import PartitionConfig, compile_program
+from repro.compiler.partitioner import TaskPartitioner
+from repro.errors import PartitionError
+from repro.isa.controlflow import ControlFlowType, MAX_EXITS_PER_TASK
+from repro.synth.behavior import BiasedChoice, FixedChoice
+from repro.synth.generator import SyntheticProgramGenerator
+from repro.synth.profiles import get_profile
+
+from tests.helpers import (
+    block,
+    call_program,
+    compile_small,
+    diamond_program,
+    straightline_program,
+    switch_program,
+)
+
+
+class TestPartitionConfig:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(PartitionError):
+            PartitionConfig(max_blocks_per_task=0)
+
+    def test_rejects_exit_limit_beyond_isa(self):
+        with pytest.raises(PartitionError):
+            PartitionConfig(max_exits_per_task=5)
+
+
+class TestPartitioner:
+    def test_straightline_is_one_task(self):
+        program = straightline_program()
+        regions = TaskPartitioner(
+            program.function("main"), PartitionConfig()
+        ).partition()
+        # entry..b merge into one region; the return block is its own task
+        # because RETURN terminators end tasks... the return block has one
+        # predecessor and is absorbed unless it is a leader.
+        labels = {r.leader for r in regions}
+        assert "main.entry" in labels
+
+    def test_diamond_join_becomes_leader(self):
+        program = diamond_program()
+        regions = TaskPartitioner(
+            program.function("main"), PartitionConfig()
+        ).partition()
+        leaders = {r.leader for r in regions}
+        assert "main.join" in leaders  # two predecessors force a task start
+
+    def test_exit_limit_respected_everywhere(self):
+        for name in ("gcc", "compress", "xlisp"):
+            profile = get_profile(name)
+            program = SyntheticProgramGenerator(profile).generate()
+            config = PartitionConfig(
+                max_blocks_per_task=profile.max_blocks_per_task
+            )
+            for cfg in program.functions():
+                for region in TaskPartitioner(cfg, config).partition():
+                    assert (
+                        len(region.exit_descriptors) <= MAX_EXITS_PER_TASK
+                    )
+                    assert (
+                        len(region.blocks)
+                        <= profile.max_blocks_per_task
+                    )
+
+    def test_regions_partition_reachable_blocks(self):
+        program = diamond_program()
+        cfg = program.function("main")
+        regions = TaskPartitioner(cfg, PartitionConfig()).partition()
+        seen: set[str] = set()
+        for region in regions:
+            for label in region.blocks:
+                assert label not in seen
+                seen.add(label)
+        assert seen == set(cfg.labels())
+
+    def test_tiny_block_cap_still_legal(self):
+        program = diamond_program(BiasedChoice(0.5))
+        regions = TaskPartitioner(
+            program.function("main"),
+            PartitionConfig(max_blocks_per_task=1),
+        ).partition()
+        for region in regions:
+            assert len(region.blocks) == 1
+            assert len(region.exit_descriptors) <= 2
+
+
+class TestCompilePipeline:
+    def test_straightline_compiles_and_validates(self):
+        compiled = compile_small(straightline_program())
+        compiled.program.tfg.validate()
+        assert compiled.program.static_task_count >= 1
+
+    def test_call_headers_reference_callee_entry(self):
+        compiled = compile_small(call_program())
+        call_exits = [
+            e
+            for task in compiled.program.tfg
+            for e in task.header.exits
+            if e.cf_type is ControlFlowType.CALL
+        ]
+        assert len(call_exits) == 2
+        f_entry_task = compiled.entry_block("f").task_address
+        assert {e.target for e in call_exits} == {f_entry_task}
+        for e in call_exits:
+            # Return addresses point at real task starts.
+            assert e.return_address in compiled.program.tfg
+
+    def test_block_task_membership_consistent(self):
+        compiled = compile_small(call_program())
+        for label, cblock in compiled.blocks.items():
+            assert cblock.label == label
+            assert cblock.task_address in compiled.program.tfg
+
+    def test_task_leaders_map_back(self):
+        compiled = compile_small(diamond_program())
+        for task_addr, leader in compiled.task_leader.items():
+            assert compiled.blocks[leader].task_address == task_addr
+            assert compiled.blocks[leader].address == task_addr
+
+    def test_switch_produces_indirect_exit(self):
+        compiled = compile_small(switch_program(FixedChoice(1)))
+        kinds = {
+            e.cf_type
+            for task in compiled.program.tfg
+            for e in task.header.exits
+        }
+        assert ControlFlowType.INDIRECT_BRANCH in kinds
+
+    def test_duplicate_labels_across_functions_rejected(self):
+        program = ProgramCFG(main="main")
+        main = ControlFlowGraph("main", entry_label="same.label")
+        main.add_block(block("same.label", TerminatorKind.RETURN))
+        other = ControlFlowGraph("other", entry_label="same.label")
+        program.add_function(main)
+        # Same label in a second function must be rejected at compile time.
+        other2 = ControlFlowGraph("other", entry_label="same.label")
+        other2.add_block(block("same.label", TerminatorKind.RETURN))
+        with pytest.raises(Exception):
+            program.add_function(other2)
+            compile_program(program)
+
+    def test_exit_indices_dense_and_in_range(self):
+        compiled = compile_small(call_program())
+        for cblock in compiled.blocks.values():
+            task = compiled.program.task(cblock.task_address)
+            if cblock.terminator_exit_index is not None:
+                assert 0 <= cblock.terminator_exit_index < task.n_exits
+            for index in cblock.successor_exit_index:
+                if index is not None:
+                    assert 0 <= index < task.n_exits
+
+    def test_addresses_word_aligned(self):
+        compiled = compile_small(call_program())
+        for cblock in compiled.blocks.values():
+            assert cblock.address % 4 == 0
+
+
+class TestCompileWholeProfiles:
+    """Compile every benchmark profile program; check global invariants."""
+
+    @pytest.mark.parametrize("name", ["compress", "xlisp"])
+    def test_profile_compiles_with_legal_headers(self, name):
+        profile = get_profile(name)
+        program_cfg = SyntheticProgramGenerator(profile).generate()
+        compiled = compile_program(
+            program_cfg,
+            name=name,
+            config=PartitionConfig(
+                max_blocks_per_task=profile.max_blocks_per_task
+            ),
+        )
+        compiled.program.tfg.validate()
+        for task in compiled.program.tfg:
+            assert 1 <= task.n_exits <= MAX_EXITS_PER_TASK
+            assert task.instruction_count >= 1

@@ -1,0 +1,104 @@
+"""Tests for smaller features not covered elsewhere."""
+
+import pytest
+
+from repro.errors import (
+    CFGError,
+    EncodingError,
+    ExperimentError,
+    PartitionError,
+    PredictorConfigError,
+    ReproError,
+    SimulationError,
+    TaskFormatError,
+    TraceError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (
+            EncodingError, TaskFormatError, CFGError, PartitionError,
+            TraceError, PredictorConfigError, SimulationError,
+            WorkloadError, ExperimentError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_single_catch_handles_any(self):
+        with pytest.raises(ReproError):
+            raise PartitionError("x")
+
+
+class TestDynamicArcRecording:
+    def test_executor_populates_tfg_dynamic_arcs(self):
+        from repro.synth.executor import TraceExecutor
+        from tests.helpers import call_program, compile_small
+
+        compiled = compile_small(call_program())
+        tfg = compiled.program.tfg
+        f_ret_task = compiled.block("f.ret").task_address
+        before = set(tfg.successors(f_ret_task))
+        TraceExecutor(compiled, record_dynamic_arcs=True).run(40)
+        after = set(tfg.successors(f_ret_task))
+        # RETURN arcs are invisible statically; execution discovers them.
+        assert after > before or (before == set() and after)
+
+    def test_recording_off_by_default(self):
+        from repro.synth.executor import TraceExecutor
+        from tests.helpers import call_program, compile_small
+
+        compiled = compile_small(call_program())
+        tfg = compiled.program.tfg
+        f_ret_task = compiled.block("f.ret").task_address
+        TraceExecutor(compiled).run(40)
+        assert tfg.successors(f_ret_task) == tfg.static_successors(
+            f_ret_task
+        )
+
+
+class TestNeighbourhoodWithDynamicArcs:
+    def test_discovered_successors_shown(self):
+        from repro.isa.display import format_task_neighbourhood
+        from repro.synth.executor import TraceExecutor
+        from tests.helpers import call_program, compile_small
+
+        compiled = compile_small(call_program())
+        TraceExecutor(compiled, record_dynamic_arcs=True).run(40)
+        f_ret_task = compiled.block("f.ret").task_address
+        text = format_task_neighbourhood(compiled.program, f_ret_task)
+        assert "known successors:" in text
+
+
+class TestRngEdges:
+    def test_geometric_p_one_always_one(self):
+        from repro.utils.rng import DeterministicRng
+
+        rng = DeterministicRng(3)
+        assert all(rng.sample_geometric(1.0, cap=9) == 1 for _ in range(20))
+
+    def test_geometric_p_zero_hits_cap(self):
+        from repro.utils.rng import DeterministicRng
+
+        rng = DeterministicRng(3)
+        assert rng.sample_geometric(0.0, cap=5) == 5
+
+
+class TestSpecExports:
+    def test_top_level_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_predictors_api_importable(self):
+        import repro.predictors as predictors
+
+        for name in predictors.__all__:
+            assert getattr(predictors, name) is not None
+
+    def test_sim_api_importable(self):
+        import repro.sim as sim
+
+        for name in sim.__all__:
+            assert getattr(sim, name) is not None

@@ -1,0 +1,194 @@
+"""Tests for the extension experiments and the scoreboard."""
+
+import pytest
+
+from repro.evalx.registry import (
+    ALL_IDS,
+    EXPERIMENT_IDS,
+    EXTENSION_IDS,
+    run_experiment,
+)
+
+
+class TestRegistryExtensions:
+    def test_extension_ids_registered(self):
+        for experiment_id in EXTENSION_IDS:
+            assert experiment_id in ALL_IDS
+
+    def test_paper_and_extensions_disjoint(self):
+        assert not set(EXPERIMENT_IDS) & set(EXTENSION_IDS)
+
+
+class TestExtTasksize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_tasksize", n_tasks=30_000, quick=True)
+
+    def test_bigger_caps_make_fewer_bigger_tasks(self, result):
+        for name, by_cap in result.data.items():
+            caps = sorted(by_cap)
+            statics = [by_cap[cap]["static_tasks"] for cap in caps]
+            assert statics[0] >= statics[-1]
+            insns = [by_cap[cap]["insns_per_task"] for cap in caps]
+            assert insns[-1] >= insns[0]
+
+    def test_miss_rates_sane(self, result):
+        for by_cap in result.data.values():
+            for point in by_cap.values():
+                assert 0.0 <= point["miss_rate"] < 0.5
+
+
+class TestExtHybridExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_hybrid", quick=True)
+
+    def test_tournament_never_much_worse_than_best(self, result):
+        series = result.data["series"]
+        for i in range(len(result.data["benchmarks"])):
+            best = min(series["PATH"][i], series["PER"][i])
+            assert series["tournament"][i] <= best + 0.01
+
+    def test_tournament_wins_on_sc(self, result):
+        """sc is where the components disagree most: PER good, PATH bad.
+        The tournament must at least match PER there."""
+        index = result.data["benchmarks"].index("sc")
+        series = result.data["series"]
+        assert series["tournament"][index] <= series["PATH"][index]
+
+
+class TestExtConfidenceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_confidence", quick=True)
+
+    def test_high_confidence_accuracy_high(self, result):
+        for row in result.data.values():
+            assert row["high_accuracy"] > 0.9
+
+    def test_coverage_meaningful(self, result):
+        for row in result.data.values():
+            assert 0.1 < row["coverage"] < 1.0
+
+
+class TestTimingStallAccounting:
+    def test_stalls_scale_with_penalty(self, compress_workload):
+        from repro.evalx.experiments.table4 import _make_predictor
+        from repro.sim.timing import TimingConfig, simulate_timing
+
+        def run(penalty):
+            predictor = _make_predictor("Simple", compress_workload)
+            return simulate_timing(
+                compress_workload,
+                predictor,
+                config=TimingConfig(task_mispredict_penalty=penalty),
+            )
+
+        cheap = run(0)
+        costly = run(30)
+        assert (
+            costly.mispredict_stall_cycles > cheap.mispredict_stall_cycles
+        )
+        assert 0.0 <= costly.mispredict_stall_fraction < 1.0
+
+    def test_perfect_prediction_has_no_stalls(self, compress_workload):
+        from repro.predictors.task_predictor import PerfectTaskPredictor
+        from repro.sim.timing import simulate_timing
+
+        result = simulate_timing(
+            compress_workload,
+            PerfectTaskPredictor(compress_workload.trace),
+        )
+        assert result.mispredict_stall_cycles == 0
+        assert result.mispredict_stall_fraction == 0.0
+
+
+class TestExtSeeds:
+    @pytest.fixture(scope="class")
+    def seeds_result(self):
+        return run_experiment("ext_seeds", n_tasks=60_000, quick=True)
+
+    def test_orderings_mostly_seed_robust(self, seeds_result):
+        holds = sum(
+            1
+            for by_seed in seeds_result.data.values()
+            for point in by_seed.values()
+            if point["path"] <= point["global"] + 0.003
+        )
+        total = sum(
+            len(by_seed) for by_seed in seeds_result.data.values()
+        )
+        assert holds >= int(0.7 * total)
+
+    def test_per_wins_sc_on_every_seed(self, seeds_result):
+        for point in seeds_result.data["sc"].values():
+            assert point["per"] < point["path"]
+
+
+class TestCliOptions:
+    def test_chart_flag(self, capsys):
+        from repro.evalx.__main__ import main as evalx_main
+
+        assert evalx_main(["figure8", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "+---" in out  # the chart's x axis
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        from repro.evalx.__main__ import main as evalx_main
+
+        path = tmp_path / "results.jsonl"
+        assert evalx_main(
+            ["table2", "--quick", "--json", str(path)]
+        ) == 0
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["experiment"] == "table2"
+        assert "gcc" in record["data"]
+
+    def test_extensions_command_listed(self):
+        from repro.evalx.registry import ALL_IDS
+
+        assert "ext_seeds" in ALL_IDS
+        assert "ext_static" in ALL_IDS
+
+
+class TestExtGating:
+    @pytest.fixture(scope="class")
+    def gating_result(self):
+        return run_experiment("ext_gating", n_tasks=40_000, quick=True)
+
+    def test_gating_loses_with_cheap_recovery(self, gating_result):
+        for name, by_penalty in gating_result.data.items():
+            cheap = by_penalty["penalty3"]
+            gated = [v for k, v in cheap.items() if k.startswith("gated")]
+            assert min(gated) <= cheap["ungated"] + 0.02
+
+    def test_gating_wins_with_expensive_recovery(self, gating_result):
+        wins = 0
+        for name, by_penalty in gating_result.data.items():
+            costly = by_penalty["penalty40"]
+            gated = [v for k, v in costly.items() if k.startswith("gated")]
+            if max(gated) > costly["ungated"]:
+                wins += 1
+        assert wins >= 4  # the crossover holds on nearly every benchmark
+
+    def test_gated_timing_consistent(self, compress_workload):
+        """Gating must never corrupt the timing recurrences: cycles stay
+        positive and IPC bounded by issue capacity."""
+        from repro.predictors.confidence import (
+            ResettingConfidenceEstimator,
+        )
+        from repro.predictors.folding import DolcSpec
+        from repro.sim.timing import simulate_timing
+        from repro.evalx.experiments.table4 import _make_predictor
+
+        result = simulate_timing(
+            compress_workload,
+            _make_predictor("PATH", compress_workload),
+            confidence_gate=ResettingConfidenceEstimator(
+                DolcSpec.parse("4-5-6-7(2)"), threshold=4
+            ),
+        )
+        assert result.cycles > 0
+        assert 0.0 < result.ipc <= 8.0

@@ -1,0 +1,75 @@
+"""Round-trip tests for the binary program image format."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa.image import load_program, save_program
+
+
+class TestImageRoundTrip:
+    def test_round_trip_preserves_everything(
+        self, compress_workload, tmp_path
+    ):
+        program = compress_workload.compiled.program
+        path = tmp_path / "compress.msx"
+        written = save_program(program, path)
+        assert written == path.stat().st_size
+        loaded = load_program(path, name="compress")
+
+        assert loaded.entry == program.entry
+        assert loaded.static_task_count == program.static_task_count
+        for address in program.tfg.addresses():
+            original = program.task(address)
+            restored = loaded.task(address)
+            assert restored.header == original.header
+            assert restored.instruction_count == original.instruction_count
+            assert (
+                restored.internal_branch_count
+                == original.internal_branch_count
+            )
+            assert restored.use_mask == original.use_mask
+            assert restored.name == original.name
+
+    def test_loaded_tfg_validates(self, compress_workload, tmp_path):
+        path = tmp_path / "p.msx"
+        save_program(compress_workload.compiled.program, path)
+        load_program(path).tfg.validate()
+
+    def test_image_size_tracks_header_bits(
+        self, compress_workload, tmp_path
+    ):
+        program = compress_workload.compiled.program
+        path = tmp_path / "p.msx"
+        written = save_program(program, path)
+        # Headers dominate; the image must be at least as large as the
+        # packed header payload.
+        assert written >= program.total_header_bits() // 8
+
+
+class TestImageErrors:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.msx"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(EncodingError):
+            load_program(path)
+
+    def test_truncated_file_rejected(self, compress_workload, tmp_path):
+        path = tmp_path / "p.msx"
+        save_program(compress_workload.compiled.program, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(EncodingError):
+            load_program(path)
+
+    def test_trailing_garbage_rejected(self, compress_workload, tmp_path):
+        path = tmp_path / "p.msx"
+        save_program(compress_workload.compiled.program, path)
+        path.write_bytes(path.read_bytes() + b"JUNK")
+        with pytest.raises(EncodingError):
+            load_program(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.msx"
+        path.write_bytes(b"")
+        with pytest.raises(EncodingError):
+            load_program(path)

@@ -1,0 +1,121 @@
+"""Tests for the D-O-L-C (F) index construction (§6.1-6.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PredictorConfigError
+from repro.predictors.folding import DolcSpec
+
+
+class TestParse:
+    def test_paper_example(self):
+        # §6.2's worked example: 6-5-8-9 (3).
+        spec = DolcSpec.parse("6-5-8-9(3)")
+        assert (spec.depth, spec.older_bits, spec.last_bits,
+                spec.current_bits, spec.folds) == (6, 5, 8, 9, 3)
+        assert spec.intermediate_bits == 42
+        assert spec.index_bits == 14
+        assert spec.table_entries == 16 * 1024
+
+    def test_whitespace_tolerated(self):
+        assert DolcSpec.parse(" 2-4-5-5 ( 1 ) ").depth == 2
+
+    def test_round_trip_str(self):
+        for text in ("0-0-0-14(1)", "3-6-8-8(2)", "7-4-9-9(3)"):
+            assert str(DolcSpec.parse(text)) == text
+
+    def test_garbage_rejected(self):
+        for text in ("", "6-5-8-9", "a-b-c-d(1)", "6/5/8/9(3)"):
+            with pytest.raises(PredictorConfigError):
+                DolcSpec.parse(text)
+
+
+class TestValidation:
+    def test_indivisible_fold_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            DolcSpec(depth=2, older_bits=4, last_bits=5, current_bits=5,
+                     folds=3)  # 14 bits not divisible by 3
+
+    def test_depth0_with_history_bits_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            DolcSpec(depth=0, older_bits=2, last_bits=0, current_bits=10)
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            DolcSpec(depth=0, older_bits=0, last_bits=0, current_bits=0)
+
+    def test_older_without_last_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            DolcSpec(depth=3, older_bits=4, last_bits=0, current_bits=8)
+
+
+class TestIndexing:
+    def test_depth0_uses_current_address_only(self):
+        spec = DolcSpec.parse("0-0-0-14(1)")
+        assert spec.index(0x1000, []) == spec.index(0x1000, [0x2000, 0x3000])
+
+    def test_alignment_bits_stripped(self):
+        # Addresses 0x1000 and 0x1001 differ only below word alignment...
+        # task addresses are always word-aligned; check the shift is applied:
+        spec = DolcSpec.parse("0-0-0-4(1)")
+        assert spec.index(0b1011_00, []) == 0b1011
+
+    def test_path_affects_index(self):
+        spec = DolcSpec.parse("2-4-5-5(1)")
+        a = spec.index(0x1000, [0x2000, 0x3000])
+        b = spec.index(0x1000, [0x2000, 0x3004])
+        assert a != b
+
+    def test_only_last_depth_entries_used(self):
+        spec = DolcSpec.parse("2-4-5-5(1)")
+        short = spec.index(0x1000, [0x2000, 0x3000])
+        long = spec.index(0x1000, [0x9999_0, 0x2000, 0x3000])
+        assert short == long
+
+    def test_cold_start_shorter_path_ok(self):
+        spec = DolcSpec.parse("4-5-6-7(2)")
+        assert spec.index(0x1000, []) < spec.table_entries
+        assert spec.index(0x1000, [0x2000]) < spec.table_entries
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 4),
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 4),
+            max_size=10,
+        ),
+    )
+    def test_index_in_table_range(self, addr, path):
+        spec = DolcSpec.parse("6-5-8-9(3)")
+        assert 0 <= spec.index(addr, path) < spec.table_entries
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=7,
+                    max_size=7))
+    def test_index_deterministic(self, path_words):
+        spec = DolcSpec.parse("7-4-9-9(3)")
+        path = [4 * w for w in path_words]
+        assert spec.index(0x400, path) == spec.index(0x400, path)
+
+    def test_figure10_configs_all_14_bit(self):
+        from repro.evalx.experiments.common import EXIT_DOLC_CONFIGS
+
+        for text in EXIT_DOLC_CONFIGS:
+            spec = DolcSpec.parse(text)
+            assert spec.index_bits == 14
+
+    def test_figure12_configs_all_11_bit(self):
+        from repro.evalx.experiments.common import CTTB_DOLC_CONFIGS
+
+        for text in CTTB_DOLC_CONFIGS:
+            spec = DolcSpec.parse(text)
+            assert spec.index_bits == 11
+
+    def test_depths_cover_zero_to_seven(self):
+        from repro.evalx.experiments.common import (
+            CTTB_DOLC_CONFIGS,
+            EXIT_DOLC_CONFIGS,
+        )
+
+        for configs in (EXIT_DOLC_CONFIGS, CTTB_DOLC_CONFIGS):
+            depths = [DolcSpec.parse(t).depth for t in configs]
+            assert depths == list(range(8))

@@ -1,0 +1,188 @@
+"""Tests for the return address stack and task target buffers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PredictorConfigError
+from repro.predictors.folding import DolcSpec
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.ttb import (
+    CorrelatedTaskTargetBuffer,
+    IdealCorrelatedTargetBuffer,
+    TaskTargetBuffer,
+)
+
+
+class TestReturnAddressStack:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+
+    def test_pop_empty_returns_none(self):
+        assert ReturnAddressStack(depth=4).pop() is None
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x30)
+        assert ras.peek() == 0x30
+        assert ras.peek() == 0x30
+        assert len(ras) == 1
+
+    def test_overflow_overwrites_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_clear(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(1)
+        ras.clear()
+        assert len(ras) == 0
+        assert ras.pop() is None
+
+    def test_depth_validation(self):
+        with pytest.raises(PredictorConfigError):
+            ReturnAddressStack(depth=0)
+
+    def test_storage_accounting(self):
+        assert ReturnAddressStack(depth=32).storage_bits() == 32 * 32
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                    max_size=64))
+    def test_matches_list_model_when_within_depth(self, pushes):
+        """Until capacity is exceeded, the RAS behaves as a plain stack."""
+        depth = 64
+        ras = ReturnAddressStack(depth=depth)
+        model = []
+        for value in pushes:
+            ras.push(value)
+            model.append(value)
+        while model:
+            assert ras.pop() == model.pop()
+        assert ras.pop() is None
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=999)),
+            max_size=100,
+        )
+    )
+    def test_never_exceeds_capacity(self, ops):
+        ras = ReturnAddressStack(depth=8)
+        for is_push, value in ops:
+            if is_push:
+                ras.push(value)
+            else:
+                ras.pop()
+            assert 0 <= len(ras) <= 8
+
+
+class TestTaskTargetBuffer:
+    def test_compulsory_miss_then_hit(self):
+        ttb = TaskTargetBuffer(index_bits=8)
+        assert ttb.predict(0x100) is None
+        ttb.update(0x100, 0x2000)
+        assert ttb.predict(0x100) == 0x2000
+
+    def test_hysteresis_resists_single_change(self):
+        ttb = TaskTargetBuffer(index_bits=8)
+        for _ in range(4):
+            ttb.update(0x100, 0x2000)
+        ttb.update(0x100, 0x3000)
+        assert ttb.predict(0x100) == 0x2000  # counter not drained yet
+
+    def test_replacement_after_drain(self):
+        ttb = TaskTargetBuffer(index_bits=8)
+        ttb.update(0x100, 0x2000)  # counter 1
+        ttb.update(0x100, 0x3000)  # counter 0
+        ttb.update(0x100, 0x3000)  # replace
+        assert ttb.predict(0x100) == 0x3000
+
+    def test_aliasing_in_small_table(self):
+        ttb = TaskTargetBuffer(index_bits=2)
+        ttb.update(0b000_00 << 2, 0xAAAA)
+        # 0b100_00 aliases to the same 2-bit slot.
+        assert ttb.predict(0b100_00 << 2 | 0) is not None or True
+        assert ttb.entries_touched() <= 4
+
+    def test_storage_accounting(self):
+        ttb = TaskTargetBuffer(index_bits=11)
+        assert ttb.storage_bits() == (1 << 11) * 34
+
+    def test_thrashing_site_mispredicts(self):
+        """A task alternating between two targets defeats the plain TTB —
+        the pathology that motivates the CTTB (§5.3)."""
+        ttb = TaskTargetBuffer(index_bits=8)
+        targets = [0x2000, 0x3000] * 20
+        misses = 0
+        for target in targets:
+            if ttb.predict(0x100) != target:
+                misses += 1
+            ttb.update(0x100, target)
+        assert misses > len(targets) // 2
+
+
+class TestCorrelatedTaskTargetBuffer:
+    def test_distinguishes_targets_by_path(self):
+        cttb = CorrelatedTaskTargetBuffer(DolcSpec.parse("2-3-3-5(1)"))
+        # Path A -> target 0x2000; path B -> target 0x3000, same task.
+        for _ in range(6):
+            for addr in (0x104, 0x208):
+                cttb.observe_step(addr)
+            cttb.update(0x40C, 0x2000)
+            cttb.observe_step(0x40C)
+            for addr in (0x104, 0x310):
+                cttb.observe_step(addr)
+            cttb.update(0x40C, 0x3000)
+            cttb.observe_step(0x40C)
+        for addr in (0x104, 0x208):
+            cttb.observe_step(addr)
+        assert cttb.predict(0x40C) == 0x2000
+        cttb.observe_step(0x40C)
+        for addr in (0x104, 0x310):
+            cttb.observe_step(addr)
+        assert cttb.predict(0x40C) == 0x3000
+
+    def test_storage_accounting(self):
+        cttb = CorrelatedTaskTargetBuffer(DolcSpec.parse("5-5-6-7(3)"))
+        assert cttb.storage_bits() == (1 << 11) * 34
+
+
+class TestIdealCorrelatedTargetBuffer:
+    def test_no_aliasing_between_paths(self):
+        ideal = IdealCorrelatedTargetBuffer(depth=2)
+        ideal.observe_step(0x100)
+        ideal.observe_step(0x200)
+        ideal.update(0x400, 0x1111)
+        ideal.observe_step(0x400)
+        ideal.observe_step(0x100)
+        ideal.observe_step(0x300)
+        # Different path: no entry yet, even though the task matches.
+        assert ideal.predict(0x400) is None
+
+    def test_depth_zero_keys_by_task_only(self):
+        ideal = IdealCorrelatedTargetBuffer(depth=0)
+        ideal.update(0x400, 0x1111)
+        ideal.observe_step(0x999)
+        assert ideal.predict(0x400) == 0x1111
+
+    def test_entries_touched_counts_paths(self):
+        ideal = IdealCorrelatedTargetBuffer(depth=1)
+        ideal.observe_step(0x100)
+        ideal.update(0x400, 1 * 4)
+        ideal.observe_step(0x400)
+        ideal.observe_step(0x200)
+        ideal.update(0x400, 2 * 4)
+        assert ideal.entries_touched() == 2
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            IdealCorrelatedTargetBuffer(depth=-1)

@@ -1,0 +1,137 @@
+"""Property-based tests on predictor data structures.
+
+Hypothesis strategies generate valid D-O-L-C(F) specifications and outcome
+streams; the tests check invariants that must hold for every instance,
+plus reference-model equivalence for the LEH automaton.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.automata import LastExitHysteresis
+from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
+
+_ADDRESSES = st.integers(min_value=0, max_value=(1 << 32) - 4).map(
+    lambda a: a & ~0x3
+)
+
+
+@st.composite
+def dolc_specs(draw):
+    """Any valid spec with a final index of at most 16 bits."""
+    depth = draw(st.integers(min_value=0, max_value=8))
+    folds = draw(st.integers(min_value=1, max_value=3))
+    index_bits = draw(st.integers(min_value=4, max_value=16))
+    total = index_bits * folds
+    if depth == 0:
+        return DolcSpec(
+            depth=0, older_bits=0, last_bits=0,
+            current_bits=total, folds=folds,
+        )
+    if depth == 1:
+        last = draw(st.integers(min_value=1, max_value=total - 1))
+        return DolcSpec(
+            depth=1, older_bits=0, last_bits=last,
+            current_bits=total - last, folds=folds,
+        )
+    # depth >= 2: need (depth-1)*older + last + current == total with
+    # older >= 0, last >= 1, current >= 1.
+    max_older = (total - 2) // (depth - 1)
+    older = draw(st.integers(min_value=0, max_value=max(0, max_older)))
+    remaining = total - (depth - 1) * older
+    last = draw(st.integers(min_value=1, max_value=remaining - 1))
+    return DolcSpec(
+        depth=depth, older_bits=older, last_bits=last,
+        current_bits=remaining - last, folds=folds,
+    )
+
+
+class TestDolcSpecProperties:
+    @settings(max_examples=80)
+    @given(dolc_specs(), _ADDRESSES, st.lists(_ADDRESSES, max_size=12))
+    def test_index_always_in_range(self, spec, addr, path):
+        assert 0 <= spec.index(addr, path) < spec.table_entries
+
+    @settings(max_examples=50)
+    @given(dolc_specs())
+    def test_parse_round_trips_str(self, spec):
+        assert DolcSpec.parse(str(spec)) == spec
+
+    @settings(max_examples=50)
+    @given(dolc_specs(), _ADDRESSES, st.lists(_ADDRESSES, max_size=12))
+    def test_index_uses_only_last_depth_tasks(self, spec, addr, path):
+        prefixed = [0xDEAD_BEE0, 0xFEED_F000] + path
+        if spec.depth <= len(path):
+            assert spec.index(addr, path) == spec.index(addr, prefixed)
+
+    @settings(max_examples=50)
+    @given(dolc_specs())
+    def test_intermediate_width_formula(self, spec):
+        if spec.depth == 0:
+            expected = spec.current_bits
+        else:
+            expected = (
+                (spec.depth - 1) * spec.older_bits
+                + spec.last_bits
+                + spec.current_bits
+            )
+        assert spec.intermediate_bits == expected
+        assert spec.intermediate_bits % spec.folds == 0
+
+
+def _leh_reference(outcomes, bits):
+    """Pure-python reference for the LEH automaton's final state."""
+    exit_value, confidence = 0, 0
+    maximum = (1 << bits) - 1
+    for actual in outcomes:
+        if actual == exit_value:
+            confidence = min(maximum, confidence + 1)
+        elif confidence > 0:
+            confidence -= 1
+        else:
+            exit_value, confidence = actual, 0
+    return exit_value
+
+
+class TestLehReferenceModel:
+    @settings(max_examples=100)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), max_size=60),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_reference(self, outcomes, bits):
+        automaton = LastExitHysteresis(bits)
+        for actual in outcomes:
+            automaton.update(actual)
+        assert automaton.predict() == _leh_reference(outcomes, bits)
+
+
+class TestPathPredictorProperties:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                _ADDRESSES,
+                st.integers(min_value=1, max_value=4),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_predictions_always_legal(self, steps):
+        predictor = PathExitPredictor(DolcSpec.parse("3-6-8-8(2)"))
+        for addr, n_exits in steps:
+            prediction = predictor.predict(addr, n_exits)
+            assert 0 <= prediction < n_exits
+            # Feed back an arbitrary legal outcome.
+            predictor.update(addr, n_exits, (addr >> 2) % n_exits)
+
+    @settings(max_examples=30)
+    @given(st.lists(_ADDRESSES, min_size=1, max_size=40))
+    def test_states_bounded_by_table(self, addrs):
+        predictor = PathExitPredictor(DolcSpec.parse("2-3-3-5(1)"))
+        for addr in addrs:
+            predictor.predict(addr, 3)
+            predictor.update(addr, 3, 1)
+        assert predictor.states_touched() <= predictor.spec.table_entries

@@ -1,0 +1,265 @@
+"""Tests for the runtime behaviour models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.synth.behavior import (
+    BehaviorContext,
+    BiasedChoice,
+    ContextChoice,
+    DepthGuardChoice,
+    FixedChoice,
+    HistoryParityChoice,
+    LoopBehavior,
+    PathCorrelatedChoice,
+    PeriodicChoice,
+    PhaseChoice,
+    TaskWindowChoice,
+)
+from repro.utils.rng import DeterministicRng
+
+
+def make_ctx(seed=0, phase_period=1000):
+    return BehaviorContext(
+        rng=DeterministicRng(seed), phase_period=phase_period
+    )
+
+
+class TestBehaviorContext:
+    def test_phase_advances_with_steps(self):
+        ctx = make_ctx(phase_period=3)
+        for _ in range(3):
+            ctx.note_decision()
+        assert ctx.phase == 1
+
+    def test_branch_history_shifts(self):
+        ctx = make_ctx()
+        ctx.note_branch_outcome(True)
+        ctx.note_branch_outcome(False)
+        ctx.note_branch_outcome(True)
+        assert ctx.recent_outcomes & 0b111 == 0b101
+
+    def test_task_window_bounded(self):
+        ctx = make_ctx()
+        for addr in range(100):
+            ctx.note_task(addr)
+        assert len(ctx.task_window) == 8
+
+    def test_window_hash_depends_on_recent_tasks(self):
+        ctx = make_ctx()
+        ctx.note_task(0x100)
+        h1 = ctx.window_hash(2)
+        ctx.note_task(0x200)
+        h2 = ctx.window_hash(2)
+        assert h1 != h2
+
+    def test_window_hash_ignores_older_than_k(self):
+        a = make_ctx()
+        b = make_ctx()
+        for addr in (1, 2, 3):
+            a.note_task(addr)
+        for addr in (9, 2, 3):
+            b.note_task(addr)
+        assert a.window_hash(2) == b.window_hash(2)
+        assert a.window_hash(3) != b.window_hash(3)
+
+
+class TestFixedChoice:
+    def test_always_same(self):
+        ctx = make_ctx()
+        behavior = FixedChoice(1)
+        assert all(behavior.choose(ctx, "k") == 1 for _ in range(5))
+
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            FixedChoice(-1)
+
+
+class TestBiasedChoice:
+    def test_bias_respected_statistically(self):
+        ctx = make_ctx(seed=5)
+        behavior = BiasedChoice(0.9)
+        outcomes = [behavior.choose(ctx, "k") for _ in range(2000)]
+        assert 0.85 < outcomes.count(0) / len(outcomes) < 0.95
+
+    def test_multiway_spread(self):
+        ctx = make_ctx(seed=6)
+        behavior = BiasedChoice(0.5, n_choices=4)
+        seen = {behavior.choose(ctx, "k") for _ in range(500)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_invalid_bias(self):
+        with pytest.raises(WorkloadError):
+            BiasedChoice(1.5)
+
+    def test_needs_two_choices(self):
+        with pytest.raises(WorkloadError):
+            BiasedChoice(0.5, n_choices=1)
+
+
+class TestLoopBehavior:
+    def test_iterates_exactly_trips_times(self):
+        ctx = make_ctx()
+        behavior = LoopBehavior((3,))
+        outcomes = [behavior.choose(ctx, "loop") for _ in range(3)]
+        assert outcomes == [0, 0, 1]  # 2 body iterations, then exit
+
+    def test_rearms_after_exit(self):
+        ctx = make_ctx()
+        behavior = LoopBehavior((2,))
+        first = [behavior.choose(ctx, "loop") for _ in range(2)]
+        second = [behavior.choose(ctx, "loop") for _ in range(2)]
+        assert first == second == [0, 1]
+
+    def test_trip_selection_depends_on_context(self):
+        behavior = LoopBehavior((2, 5))
+        trips_a = _activation_length(behavior, make_ctx_with_hash(0))
+        trips_b = _activation_length(behavior, make_ctx_with_hash(1))
+        assert {trips_a, trips_b} == {2, 5}
+
+    def test_rejects_bad_trips(self):
+        with pytest.raises(WorkloadError):
+            LoopBehavior(())
+        with pytest.raises(WorkloadError):
+            LoopBehavior((0,))
+
+
+def make_ctx_with_hash(value):
+    ctx = make_ctx()
+    ctx.context_hash = value
+    return ctx
+
+
+def _activation_length(behavior, ctx):
+    count = 0
+    while True:
+        count += 1
+        if behavior.choose(ctx, "loop") == 1:
+            return count
+
+
+class TestPeriodicChoice:
+    def test_cycles_pattern(self):
+        ctx = make_ctx()
+        behavior = PeriodicChoice((0, 1, 1))
+        outcomes = [behavior.choose(ctx, "p") for _ in range(6)]
+        assert outcomes == [0, 1, 1, 0, 1, 1]
+
+    def test_per_site_counters_independent(self):
+        ctx = make_ctx()
+        behavior = PeriodicChoice((0, 1))
+        assert behavior.choose(ctx, "a") == 0
+        assert behavior.choose(ctx, "b") == 0  # b has its own phase
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(WorkloadError):
+            PeriodicChoice(())
+
+
+class TestHistoryParityChoice:
+    def test_deterministic_without_noise(self):
+        behavior = HistoryParityChoice(0b11)
+        ctx = make_ctx()
+        ctx.recent_outcomes = 0b10
+        assert behavior.choose(ctx, "h") == 1  # parity of '10' is 1
+        ctx.recent_outcomes = 0b11
+        assert behavior.choose(ctx, "h") == 0
+
+    def test_mask_validation(self):
+        with pytest.raises(WorkloadError):
+            HistoryParityChoice(0)
+
+
+class TestPathCorrelatedChoice:
+    def test_deterministic_given_window(self):
+        behavior = PathCorrelatedChoice(window=3)
+        a = make_ctx()
+        b = make_ctx(seed=99)  # different rng must not matter without noise
+        for addr in (0x10, 0x20, 0x30):
+            a.note_task(addr)
+            b.note_task(addr)
+        assert behavior.choose(a, "s") == behavior.choose(b, "s")
+
+    def test_different_paths_can_differ(self):
+        behavior = PathCorrelatedChoice(window=2)
+        outcomes = set()
+        for variant in range(16):
+            ctx = make_ctx()
+            ctx.note_task(variant * 4)
+            ctx.note_task(0x40)
+            outcomes.add(behavior.choose(ctx, "s"))
+        assert outcomes == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PathCorrelatedChoice(0)
+
+
+class TestTaskWindowChoice:
+    def test_in_range(self):
+        behavior = TaskWindowChoice(4, window=2)
+        for variant in range(20):
+            ctx = make_ctx()
+            ctx.note_task(variant * 8)
+            assert 0 <= behavior.choose(ctx, "sw") < 4
+
+    def test_deterministic_per_path(self):
+        behavior = TaskWindowChoice(5, window=2)
+        a, b = make_ctx(), make_ctx(seed=3)
+        for addr in (0x8, 0x18):
+            a.note_task(addr)
+            b.note_task(addr)
+        assert behavior.choose(a, "sw") == behavior.choose(b, "sw")
+
+    def test_needs_two_choices(self):
+        with pytest.raises(WorkloadError):
+            TaskWindowChoice(1, window=2)
+
+
+class TestPhaseChoice:
+    def test_constant_within_phase(self):
+        behavior = PhaseChoice(4)
+        ctx = make_ctx(phase_period=10_000)
+        outcomes = {behavior.choose(ctx, "ph") for _ in range(50)}
+        assert len(outcomes) == 1
+
+    def test_changes_across_phases(self):
+        behavior = PhaseChoice(7)
+        seen = set()
+        ctx = make_ctx(phase_period=1)
+        for _ in range(30):
+            seen.add(behavior.choose(ctx, "ph"))
+        assert len(seen) > 1
+
+
+class TestContextChoice:
+    def test_deterministic_per_context(self):
+        behavior = ContextChoice(3)
+        a, b = make_ctx(), make_ctx(seed=9)
+        a.context_hash = b.context_hash = 0xABC
+        assert behavior.choose(a, "c") == behavior.choose(b, "c")
+
+
+class TestDepthGuardChoice:
+    def test_stops_at_max_depth(self):
+        behavior = DepthGuardChoice(max_depth=3, noise=0.0)
+        ctx = make_ctx()
+        ctx.call_depth = 3
+        assert behavior.choose(ctx, "g") == 1
+
+    def test_can_recurse_below_limit(self):
+        behavior = DepthGuardChoice(max_depth=5, p_continue=1.0, noise=0.0)
+        ctx = make_ctx()
+        ctx.call_depth = 0
+        assert behavior.choose(ctx, "g") == 0
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_never_recurses_at_or_beyond_limit(self, depth):
+        behavior = DepthGuardChoice(max_depth=4, p_continue=1.0, noise=1.0)
+        ctx = make_ctx()
+        ctx.call_depth = depth
+        outcome = behavior.choose(ctx, "g")
+        if depth >= 4:
+            assert outcome == 1

@@ -1,0 +1,74 @@
+"""Tests for the synth CLI and the shared statistics view."""
+
+import pytest
+
+from repro.synth.__main__ import main as synth_main
+from repro.synth.stats_view import EXIT_TYPES, compute_stats
+from repro.synth.trace import TaskTrace
+
+
+class TestComputeStats:
+    def test_distributions_sum_to_one(self, gcc_workload):
+        stats = compute_stats(gcc_workload)
+        assert sum(stats.static_arity.values()) == pytest.approx(1.0)
+        assert sum(stats.dynamic_arity.values()) == pytest.approx(1.0)
+        assert sum(stats.static_types.values()) == pytest.approx(1.0)
+        assert sum(stats.dynamic_types.values()) == pytest.approx(1.0)
+
+    def test_indirect_share_consistent(self, gcc_workload):
+        stats = compute_stats(gcc_workload)
+        manual = (
+            stats.dynamic_types["indirect_branch"]
+            + stats.dynamic_types["indirect_call"]
+        )
+        assert stats.dynamic_indirect_share == pytest.approx(manual)
+
+    def test_instructions_per_task_positive(self, compress_workload):
+        stats = compute_stats(compress_workload)
+        assert stats.instructions_per_task > 1.0
+
+    def test_exit_types_order(self):
+        names = [str(t) for t in EXIT_TYPES]
+        assert names == [
+            "branch", "call", "return", "indirect_branch", "indirect_call",
+        ]
+
+    def test_matches_figure_drivers(self, compress_workload):
+        """The figure3 driver and compute_stats must agree (they share the
+        implementation; this guards against drift if one is edited)."""
+        from repro.evalx.registry import run_experiment
+
+        stats = compute_stats(compress_workload)
+        result = run_experiment(
+            "figure3", n_tasks=len(compress_workload.trace)
+        )
+        assert result.data["compress"]["static"] == pytest.approx(
+            stats.static_arity
+        )
+
+
+class TestSynthCli:
+    def test_list(self, capsys):
+        assert synth_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out
+        assert "12525" in out
+
+    def test_info(self, capsys):
+        assert synth_main(["info", "compress", "--tasks", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "validation: compress" in out
+        assert "distinct tasks seen" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "t.npz"
+        assert synth_main(
+            ["trace", "compress", str(out_path), "--tasks", "2000"]
+        ) == 0
+        loaded = TaskTrace.load(out_path)
+        assert len(loaded) == 2000
+        assert loaded.program_name == "compress"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            synth_main(["info", "quake"])

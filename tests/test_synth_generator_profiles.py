@@ -1,0 +1,145 @@
+"""Tests for profiles, the program generator, and workload loading."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.controlflow import MAX_EXITS_PER_TASK
+from repro.synth.generator import SyntheticProgramGenerator
+from repro.synth.profiles import (
+    BENCHMARK_NAMES,
+    BenchmarkProfile,
+    PROFILES,
+    PaperStats,
+    get_profile,
+)
+from repro.synth.workloads import build_program, load_workload
+
+
+def tiny_profile(**overrides):
+    base = dict(
+        name="tiny",
+        seed=1,
+        paper=PaperStats("x", 0, 0, 0),
+        n_hot_functions=4,
+        n_cold_functions=2,
+        call_levels=2,
+        constructs_per_function=(3, 5),
+    )
+    base.update(overrides)
+    return BenchmarkProfile(**base)
+
+
+class TestProfiles:
+    def test_all_five_benchmarks_present(self):
+        assert set(PROFILES) == set(BENCHMARK_NAMES)
+        assert set(BENCHMARK_NAMES) == {
+            "gcc", "compress", "espresso", "sc", "xlisp",
+        }
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+    def test_validation_rejects_bad_ranges(self):
+        with pytest.raises(WorkloadError):
+            tiny_profile(n_hot_functions=0)
+        with pytest.raises(WorkloadError):
+            tiny_profile(constructs_per_function=(5, 3))
+        with pytest.raises(WorkloadError):
+            tiny_profile(call_levels=0)
+
+    def test_validation_rejects_all_zero_weights(self):
+        with pytest.raises(WorkloadError):
+            tiny_profile(
+                w_if=0, w_ifelse=0, w_loop=0, w_call=0,
+                w_switch=0, w_icall=0, w_straight=0,
+            )
+
+    def test_paper_stats_recorded(self):
+        assert get_profile("gcc").paper.static_tasks == 12525
+        assert get_profile("compress").paper.distinct_tasks_seen == 39
+
+
+class TestGenerator:
+    def test_generated_program_validates(self):
+        program = SyntheticProgramGenerator(tiny_profile()).generate()
+        program.validate()
+        assert "main" in program
+
+    def test_generation_is_deterministic(self):
+        a = SyntheticProgramGenerator(tiny_profile()).generate()
+        b = SyntheticProgramGenerator(tiny_profile()).generate()
+        assert sorted(f.function_name for f in a.functions()) == sorted(
+            f.function_name for f in b.functions()
+        )
+        for cfg_a in a.functions():
+            cfg_b = b.function(cfg_a.function_name)
+            assert cfg_a.labels() == cfg_b.labels()
+
+    def test_different_seeds_differ(self):
+        a = SyntheticProgramGenerator(tiny_profile(seed=1)).generate()
+        b = SyntheticProgramGenerator(tiny_profile(seed=2)).generate()
+        sizes_a = [len(f) for f in a.functions()]
+        sizes_b = [len(f) for f in b.functions()]
+        assert sizes_a != sizes_b
+
+    def test_cold_functions_never_called(self):
+        program = SyntheticProgramGenerator(
+            tiny_profile(n_cold_functions=3)
+        ).generate()
+        called = set()
+        for cfg in program.functions():
+            for blk in cfg:
+                if blk.terminator.callee:
+                    called.add(blk.terminator.callee)
+                called.update(blk.terminator.callees)
+        cold = {name for name in called if name.startswith("cold")}
+        assert cold == set()
+
+    def test_every_hot_function_has_a_caller(self):
+        program = SyntheticProgramGenerator(
+            tiny_profile(n_hot_functions=12, call_levels=3)
+        ).generate()
+        called = set()
+        for cfg in program.functions():
+            for blk in cfg:
+                if blk.terminator.callee:
+                    called.add(blk.terminator.callee)
+                called.update(blk.terminator.callees)
+        hot = {
+            cfg.function_name
+            for cfg in program.functions()
+            if cfg.function_name.startswith("f")
+        }
+        level1_count = 0
+        uncalled = hot - called
+        # Only level-1 functions (called by main directly) are allowed to
+        # be absent from non-main call sites.
+        main = program.function("main")
+        main_callees = {
+            blk.terminator.callee for blk in main if blk.terminator.callee
+        }
+        assert uncalled <= main_callees
+
+
+class TestWorkloads:
+    def test_build_program_memoised(self):
+        a = build_program("compress")
+        b = build_program("compress")
+        assert a is b
+
+    def test_load_workload_trace_length(self):
+        workload = load_workload("compress", n_tasks=1500)
+        assert len(workload.trace) == 1500
+        assert workload.name == "compress"
+
+    def test_trace_cache_by_length(self):
+        a = load_workload("compress", n_tasks=1000)
+        b = load_workload("compress", n_tasks=1000)
+        assert a.trace is b.trace
+
+    def test_compiled_headers_legal_for_all_benchmarks(self):
+        for name in BENCHMARK_NAMES:
+            program = build_program(name).program
+            for task in program.tfg:
+                assert 1 <= task.n_exits <= MAX_EXITS_PER_TASK

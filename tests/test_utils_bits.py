@@ -1,0 +1,112 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.utils.bits import (
+    bit_mask,
+    extract_bits,
+    fold_xor,
+    low_bits,
+    required_bits,
+)
+
+
+class TestBitMask:
+    def test_zero_width(self):
+        assert bit_mask(0) == 0
+
+    def test_small_widths(self):
+        assert bit_mask(1) == 1
+        assert bit_mask(4) == 0xF
+        assert bit_mask(32) == 0xFFFF_FFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(EncodingError):
+            bit_mask(-1)
+
+    @given(st.integers(min_value=0, max_value=128))
+    def test_mask_has_width_bits_set(self, width):
+        assert bit_mask(width).bit_count() == width
+
+
+class TestLowBits:
+    def test_truncates(self):
+        assert low_bits(0b101101, 3) == 0b101
+
+    def test_zero_width_gives_zero(self):
+        assert low_bits(12345, 0) == 0
+
+    @given(st.integers(min_value=0), st.integers(min_value=0, max_value=64))
+    def test_result_fits_in_width(self, value, width):
+        assert low_bits(value, width) <= bit_mask(width)
+
+
+class TestExtractBits:
+    def test_middle_field(self):
+        assert extract_bits(0b110100, 2, 3) == 0b101
+
+    def test_offset_zero_equals_low_bits(self):
+        assert extract_bits(0xABCD, 0, 8) == low_bits(0xABCD, 8)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            extract_bits(1, -1, 2)
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=32),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_extract_matches_shift_and_mask(self, value, lo, width):
+        assert extract_bits(value, lo, width) == (value >> lo) & bit_mask(width)
+
+
+class TestFoldXor:
+    def test_single_fold_is_identity_mask(self):
+        assert fold_xor(0b1011, 4, 1) == 0b1011
+
+    def test_two_folds(self):
+        assert fold_xor(0b1010_0110, 8, 2) == 0b1010 ^ 0b0110
+
+    def test_three_folds(self):
+        value = (0b111 << 6) | (0b010 << 3) | 0b100
+        assert fold_xor(value, 9, 3) == 0b111 ^ 0b010 ^ 0b100
+
+    def test_indivisible_width_rejected(self):
+        with pytest.raises(EncodingError):
+            fold_xor(0xFF, 7, 2)
+
+    def test_zero_folds_rejected(self):
+        with pytest.raises(EncodingError):
+            fold_xor(0xFF, 8, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**48 - 1),
+        st.sampled_from([(48, 2), (48, 3), (48, 4), (48, 6)]),
+    )
+    def test_folded_value_fits_field(self, value, shape):
+        width, folds = shape
+        assert fold_xor(value, width, folds) <= bit_mask(width // folds)
+
+    @given(st.integers(min_value=0, max_value=2**24 - 1))
+    def test_fold_is_linear_in_xor(self, value):
+        other = 0xA5A5A5
+        folded_both = fold_xor(value ^ other, 24, 3)
+        assert folded_both == fold_xor(value, 24, 3) ^ fold_xor(other, 24, 3)
+
+
+class TestRequiredBits:
+    def test_exact_powers(self):
+        assert required_bits(2) == 1
+        assert required_bits(4) == 2
+        assert required_bits(5) == 3
+
+    def test_one_value_needs_one_bit(self):
+        assert required_bits(1) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(EncodingError):
+            required_bits(0)

@@ -1,0 +1,27 @@
+"""Shape-check helper: predictor orderings per benchmark."""
+import sys
+from repro.synth.workloads import load_workload
+from repro.predictors import (IdealPathPredictor, IdealGlobalPredictor,
+                              IdealPerTaskPredictor, PathExitPredictor, DolcSpec,
+                              TaskTargetBuffer, CorrelatedTaskTargetBuffer,
+                              IdealCorrelatedTargetBuffer)
+from repro.sim import simulate_exit_prediction, simulate_indirect_target_prediction
+
+names = sys.argv[1:] or ['gcc']
+N = 200_000
+for name in names:
+    w = load_workload(name, n_tasks=N)
+    print(f"== {name} ==")
+    for depth in (0, 1, 2, 4, 7):
+        row = []
+        for label, cls in (('GLB', IdealGlobalPredictor), ('PATH', IdealPathPredictor), ('PER', IdealPerTaskPredictor)):
+            s = simulate_exit_prediction(w, cls(depth))
+            row.append(f"{label} {s.miss_rate*100:5.2f}%")
+        print(f"  d{depth}: " + '  '.join(row))
+    s = simulate_exit_prediction(w, PathExitPredictor(DolcSpec.parse('6-5-8-9(3)')))
+    print(f"  real PATH 6-5-8-9(3): {s.miss_rate*100:.2f}%  states {s.states_touched}")
+    s = simulate_indirect_target_prediction(w, TaskTargetBuffer(index_bits=20))
+    print(f"  TTB inf: {s.miss_rate*100:.1f}% of {s.trials}")
+    for d in (1, 3, 5, 7):
+        s = simulate_indirect_target_prediction(w, IdealCorrelatedTargetBuffer(depth=d))
+        print(f"  ideal CTTB d{d}: {s.miss_rate*100:.1f}%")
