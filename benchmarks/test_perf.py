@@ -1,0 +1,118 @@
+"""Performance checks for the vectorized kernels and the --jobs engine.
+
+Each test times a batched kernel against the step-by-step loop (or a
+parallel experiment run against the serial one) on a fixed workload and
+emits a machine-readable line::
+
+    BENCH {"name": ..., "serial_s": ..., "fast_s": ..., "speedup": ...}
+
+so CI logs and tooling can track the numbers over time. Correctness is
+asserted (identical results both ways); speed is reported, not gated —
+wall-clock ratios are hardware-dependent, and on a single-CPU box the
+``--jobs`` fan-out cannot win.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.evalx.registry import run_experiment
+from repro.predictors.ideal import (
+    IdealGlobalPredictor,
+    IdealPathPredictor,
+    IdealPerTaskPredictor,
+)
+from repro.predictors.ttb import IdealCorrelatedTargetBuffer
+from repro.sim.functional import (
+    simulate_exit_prediction,
+    simulate_indirect_target_prediction,
+)
+from repro.synth.workloads import load_workload
+
+_TASKS = 100_000
+
+
+def _report(name: str, serial_s: float, fast_s: float) -> None:
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": name,
+                "serial_s": round(serial_s, 4),
+                "fast_s": round(fast_s, 4),
+                "speedup": round(serial_s / fast_s, 2) if fast_s else None,
+            }
+        )
+    )
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_exit_kernel_speedup():
+    """Batched ideal exit predictors vs the generic loop, all schemes."""
+    workload = load_workload("gcc", n_tasks=_TASKS)
+    total_slow = total_fast = 0.0
+    for cls in (
+        IdealGlobalPredictor, IdealPerTaskPredictor, IdealPathPredictor,
+    ):
+        for depth in (0, 4, 7):
+            looped, slow = _time(
+                lambda: simulate_exit_prediction(
+                    workload, cls(depth), vectorize=False
+                )
+            )
+            batched, fast = _time(
+                lambda: simulate_exit_prediction(
+                    workload, cls(depth), vectorize=True
+                )
+            )
+            assert batched == looped
+            total_slow += slow
+            total_fast += fast
+    _report("exit_kernel[gcc-100k]", total_slow, total_fast)
+
+
+def test_target_kernel_speedup():
+    """Batched ideal CTTB vs the generic loop."""
+    workload = load_workload("gcc", n_tasks=_TASKS)
+    total_slow = total_fast = 0.0
+    for depth in (0, 3, 7):
+        looped, slow = _time(
+            lambda: simulate_indirect_target_prediction(
+                workload, IdealCorrelatedTargetBuffer(depth),
+                vectorize=False,
+            )
+        )
+        batched, fast = _time(
+            lambda: simulate_indirect_target_prediction(
+                workload, IdealCorrelatedTargetBuffer(depth),
+                vectorize=True,
+            )
+        )
+        assert batched == looped
+        total_slow += slow
+        total_fast += fast
+    _report("target_kernel[gcc-100k]", total_slow, total_fast)
+
+
+def test_jobs_speedup():
+    """figure7 fanned over workers vs serial — identical data either way."""
+    kwargs = dict(
+        n_tasks=40_000, quick=True, benchmarks=("gcc", "xlisp")
+    )
+    # Warm the trace caches so both timings measure simulation only.
+    for name in kwargs["benchmarks"]:
+        load_workload(name, n_tasks=kwargs["n_tasks"])
+    serial, serial_s = _time(
+        lambda: run_experiment("figure7", **kwargs)
+    )
+    fanned, fanned_s = _time(
+        lambda: run_experiment("figure7", jobs=0, **kwargs)
+    )
+    assert fanned.data == serial.data
+    _report("figure7_jobs[40k]", serial_s, fanned_s)

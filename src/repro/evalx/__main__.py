@@ -46,6 +46,14 @@ def main(argv: list[str] | None = None) -> int:
         help="small traces and sparse sweeps, for smoke runs",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "fan independent (benchmark x config) cells over N worker "
+            "processes; 0 = one per CPU; default serial. Results are "
+            "identical regardless of N"
+        ),
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also draw ASCII line charts for figure experiments",
     )
@@ -64,7 +72,10 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in ids:
         started = time.time()
         result = run_experiment(
-            experiment_id, n_tasks=args.tasks, quick=args.quick
+            experiment_id,
+            n_tasks=args.tasks,
+            quick=args.quick,
+            jobs=args.jobs,
         )
         elapsed = time.time() - started
         print(result)

@@ -1,4 +1,13 @@
-"""Figure 10: real 8KB path-based exit predictors vs the ideal."""
+"""Figure 10: real 8KB path-based exit predictors vs the ideal.
+
+Reproduces Figure 10: real implementations track the ideal closely. Each
+D-O-L-C(F) point uses a 14-bit index — an 8KB PHT at 4 bits per LEH-2
+entry, as in the paper. The ideal curve uses the same history depth with
+no aliasing. gcc deviates most: its working set outgrows the table (see
+Figure 11).
+
+One cell per (benchmark, DOLC configuration).
+"""
 
 from __future__ import annotations
 
@@ -8,9 +17,11 @@ from repro.evalx.experiments.common import (
     effective_tasks,
     parse_configs,
 )
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
 from repro.predictors.ideal import IdealPathPredictor
 from repro.sim.functional import simulate_exit_prediction
 from repro.synth.workloads import load_workload
@@ -18,45 +29,66 @@ from repro.synth.workloads import load_workload
 _DEFAULT_TASKS = 200_000
 
 
-def run(
+def _sweep_specs(quick: bool) -> list[DolcSpec]:
+    specs = parse_configs(EXIT_DOLC_CONFIGS)
+    return specs[::2] if quick else specs
+
+
+def _cell(name: str, spec_text: str, tasks: int) -> dict[str, float]:
+    """Real and ideal miss rates for one DOLC point on one benchmark."""
+    workload = load_workload(name, n_tasks=tasks)
+    spec = DolcSpec.parse(spec_text)
+    return {
+        "real": simulate_exit_prediction(
+            workload, PathExitPredictor(spec)
+        ).miss_rate,
+        "ideal": simulate_exit_prediction(
+            workload, IdealPathPredictor(spec.depth)
+        ).miss_rate,
+    }
+
+
+def cells(
+    n_tasks: int | None = None,
+    quick: bool = False,
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=f"{name}:{spec}",
+            fn=_cell,
+            kwargs={"name": name, "spec_text": str(spec), "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in benchmarks
+        for spec in _sweep_specs(quick)
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
     n_tasks: int | None = None,
     quick: bool = False,
     benchmarks: tuple[str, ...] = BENCHMARKS,
 ) -> ExperimentResult:
-    """Reproduce Figure 10: real implementations track the ideal closely.
-
-    Each D-O-L-C(F) point uses a 14-bit index — an 8KB PHT at 4 bits per
-    LEH-2 entry, as in the paper. The ideal curve uses the same history
-    depth with no aliasing. gcc deviates most: its working set outgrows the
-    table (see Figure 11).
-    """
-    specs = parse_configs(EXIT_DOLC_CONFIGS)
-    if quick:
-        specs = specs[::2]
-    labels = [str(spec) for spec in specs]
+    labels = [str(spec) for spec in _sweep_specs(quick)]
+    curves: dict[str, dict[str, list[float]]] = {
+        name: {"ideal": [], "real": []} for name in benchmarks
+    }
+    for cell, point in zip(cells, results):
+        series = curves[cell.kwargs["name"]]
+        series["ideal"].append(point["ideal"])
+        series["real"].append(point["real"])
     sections = []
     data: dict[str, dict] = {"configs": labels}
     for name in benchmarks:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        real = []
-        ideal = []
-        for spec in specs:
-            real.append(
-                simulate_exit_prediction(
-                    workload, PathExitPredictor(spec)
-                ).miss_rate
-            )
-            ideal.append(
-                simulate_exit_prediction(
-                    workload, IdealPathPredictor(spec.depth)
-                ).miss_rate
-            )
-        series = {"ideal": ideal, "real": real}
-        data[name] = series
+        data[name] = curves[name]
         sections.append(
-            render_series("DOLC (F)", labels, series, title=name.upper())
+            render_series(
+                "DOLC (F)", labels, curves[name], title=name.upper()
+            )
         )
     return ExperimentResult(
         experiment_id="figure10",

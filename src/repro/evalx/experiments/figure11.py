@@ -1,4 +1,12 @@
-"""Figure 11: predictor states touched, ideal vs real (gcc, espresso)."""
+"""Figure 11: predictor states touched, ideal vs real (gcc, espresso).
+
+Reproduces Figure 11: how many PHT states each depth touches. The ideal
+predictor's state count grows without bound with depth; the real table
+saturates at its capacity. gcc's ideal count racing past the 16K-entry
+table is why its real accuracy diverges from ideal in Figure 10.
+
+One cell per (benchmark, DOLC configuration).
+"""
 
 from __future__ import annotations
 
@@ -7,9 +15,11 @@ from repro.evalx.experiments.common import (
     effective_tasks,
     parse_configs,
 )
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import PathExitPredictor
+from repro.predictors.folding import DolcSpec
 from repro.predictors.ideal import IdealPathPredictor
 from repro.sim.functional import simulate_exit_prediction
 from repro.synth.workloads import load_workload
@@ -18,46 +28,64 @@ _BENCHMARKS = ("gcc", "espresso")
 _DEFAULT_TASKS = 200_000
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Reproduce Figure 11: how many PHT states each depth touches.
-
-    The ideal predictor's state count grows without bound with depth; the
-    real table saturates at its capacity. gcc's ideal count racing past the
-    16K-entry table is why its real accuracy diverges from ideal in
-    Figure 10.
-    """
+def _sweep_specs(quick: bool) -> list[DolcSpec]:
     specs = parse_configs(EXIT_DOLC_CONFIGS)
-    if quick:
-        specs = specs[::2]
-    depths = [spec.depth for spec in specs]
+    return specs[::2] if quick else specs
+
+
+def _cell(name: str, spec_text: str, tasks: int) -> dict[str, float]:
+    """Ideal and real PHT states touched at one DOLC point."""
+    workload = load_workload(name, n_tasks=tasks)
+    spec = DolcSpec.parse(spec_text)
+    return {
+        "ideal": float(
+            simulate_exit_prediction(
+                workload, IdealPathPredictor(spec.depth)
+            ).states_touched
+        ),
+        "real": float(
+            simulate_exit_prediction(
+                workload, PathExitPredictor(spec)
+            ).states_touched
+        ),
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=f"{name}:{spec}",
+            fn=_cell,
+            kwargs={"name": name, "spec_text": str(spec), "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in _BENCHMARKS
+        for spec in _sweep_specs(quick)
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    depths = [spec.depth for spec in _sweep_specs(quick)]
+    curves: dict[str, dict[str, list[float]]] = {
+        name: {"ideal": [], "real": []} for name in _BENCHMARKS
+    }
+    for cell, point in zip(cells, results):
+        series = curves[cell.kwargs["name"]]
+        series["ideal"].append(point["ideal"])
+        series["real"].append(point["real"])
     sections = []
     data: dict[str, dict] = {"depths": depths}
     for name in _BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        ideal = []
-        real = []
-        for spec in specs:
-            ideal.append(
-                float(
-                    simulate_exit_prediction(
-                        workload, IdealPathPredictor(spec.depth)
-                    ).states_touched
-                )
-            )
-            real.append(
-                float(
-                    simulate_exit_prediction(
-                        workload, PathExitPredictor(spec)
-                    ).states_touched
-                )
-            )
-        series = {"ideal": ideal, "real": real}
-        data[name] = {"ideal": ideal, "real": real}
+        data[name] = curves[name]
         sections.append(
             render_series(
-                "depth", depths, series,
+                "depth", depths, curves[name],
                 title=name.upper(), as_percent=False,
             )
         )

@@ -1,4 +1,12 @@
-"""Figure 12: real 8KB CTTBs vs ideal for indirect-target prediction."""
+"""Figure 12: real 8KB CTTBs vs ideal for indirect-target prediction.
+
+Reproduces Figure 12: real CTTB implementations vs the ideal. Each point
+uses an 11-bit index (8KB at 4 bytes per entry, as in the paper). xlisp
+implementations track the ideal closely; gcc diverges because its path
+working set exceeds the table.
+
+One cell per (benchmark, DOLC configuration).
+"""
 
 from __future__ import annotations
 
@@ -7,8 +15,10 @@ from repro.evalx.experiments.common import (
     effective_tasks,
     parse_configs,
 )
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
+from repro.predictors.folding import DolcSpec
 from repro.predictors.ttb import (
     CorrelatedTaskTargetBuffer,
     IdealCorrelatedTargetBuffer,
@@ -20,40 +30,61 @@ _BENCHMARKS = ("gcc", "xlisp")
 _DEFAULT_TASKS = 250_000
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Reproduce Figure 12: real CTTB implementations vs the ideal.
-
-    Each point uses an 11-bit index (8KB at 4 bytes per entry, as in the
-    paper). xlisp implementations track the ideal closely; gcc diverges
-    because its path working set exceeds the table.
-    """
+def _sweep_specs(quick: bool) -> list[DolcSpec]:
     specs = parse_configs(CTTB_DOLC_CONFIGS)
-    if quick:
-        specs = specs[::2]
-    labels = [str(spec) for spec in specs]
+    return specs[::2] if quick else specs
+
+
+def _cell(name: str, spec_text: str, tasks: int) -> dict[str, float]:
+    """Real and ideal CTTB miss rates at one DOLC point."""
+    workload = load_workload(name, n_tasks=tasks)
+    spec = DolcSpec.parse(spec_text)
+    return {
+        "real": simulate_indirect_target_prediction(
+            workload, CorrelatedTaskTargetBuffer(spec)
+        ).miss_rate,
+        "ideal": simulate_indirect_target_prediction(
+            workload, IdealCorrelatedTargetBuffer(spec.depth)
+        ).miss_rate,
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=f"{name}:{spec}",
+            fn=_cell,
+            kwargs={"name": name, "spec_text": str(spec), "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in _BENCHMARKS
+        for spec in _sweep_specs(quick)
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    labels = [str(spec) for spec in _sweep_specs(quick)]
+    curves: dict[str, dict[str, list[float]]] = {
+        name: {"ideal": [], "real": []} for name in _BENCHMARKS
+    }
+    for cell, point in zip(cells, results):
+        series = curves[cell.kwargs["name"]]
+        series["ideal"].append(point["ideal"])
+        series["real"].append(point["real"])
     sections = []
     data: dict[str, dict] = {"configs": labels}
     for name in _BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        real = []
-        ideal = []
-        for spec in specs:
-            real.append(
-                simulate_indirect_target_prediction(
-                    workload, CorrelatedTaskTargetBuffer(spec)
-                ).miss_rate
-            )
-            ideal.append(
-                simulate_indirect_target_prediction(
-                    workload, IdealCorrelatedTargetBuffer(spec.depth)
-                ).miss_rate
-            )
-        series = {"ideal": ideal, "real": real}
-        data[name] = series
+        data[name] = curves[name]
         sections.append(
-            render_series("DOLC (F)", labels, series, title=name.upper())
+            render_series(
+                "DOLC (F)", labels, curves[name], title=name.upper()
+            )
         )
     return ExperimentResult(
         experiment_id="figure12",

@@ -1,8 +1,18 @@
-"""Figure 3: number of exits per task, static and dynamic."""
+"""Figure 3: number of exits per task, static and dynamic.
+
+Reproduces Figure 3: the distribution of exits per task (1-4 targets).
+The paper's stacked bars become one static and one dynamic row per
+benchmark plus the cross-benchmark average. The encouraging property the
+paper highlights — "most tasks have fewer than four exits, many having
+only a single exit" — is asserted by the test suite.
+
+One cell per benchmark; see :mod:`repro.evalx.parallel`.
+"""
 
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.isa.controlflow import MAX_EXITS_PER_TASK
@@ -13,36 +23,50 @@ from repro.synth.workloads import load_workload
 _ARITIES = tuple(range(1, MAX_EXITS_PER_TASK + 1))
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Reproduce Figure 3: the distribution of exits per task (1–4 targets).
+def _cell(name: str, tasks: int) -> dict[str, dict[int, float]]:
+    """Static and dynamic exit-arity distributions for one benchmark."""
+    workload = load_workload(name, n_tasks=tasks)
+    stats = compute_stats(workload)
+    return {
+        "static": dict(stats.static_arity),
+        "dynamic": dict(stats.dynamic_arity),
+    }
 
-    The paper's stacked bars become one static and one dynamic row per
-    benchmark plus the cross-benchmark average. The encouraging property
-    the paper highlights — "most tasks have fewer than four exits, many
-    having only a single exit" — is asserted by the test suite.
-    """
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    out = []
+    for name in BENCHMARKS:
+        tasks = effective_tasks(
+            n_tasks, quick, get_profile(name).default_dynamic_tasks
+        )
+        out.append(
+            Cell(
+                label=name,
+                fn=_cell,
+                kwargs={"name": name, "tasks": tasks},
+                workload=(name, tasks),
+            )
+        )
+    return out
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, dict[int, float]]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[str, dict[int, float]]] = {}
     sums = {
         "static": dict.fromkeys(_ARITIES, 0.0),
         "dynamic": dict.fromkeys(_ARITIES, 0.0),
     }
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name,
-            n_tasks=effective_tasks(
-                n_tasks, quick, get_profile(name).default_dynamic_tasks
-            ),
-        )
-        stats = compute_stats(workload)
-        views = {
-            "static": stats.static_arity,
-            "dynamic": stats.dynamic_arity,
-        }
-        data[name] = views
+    for cell, views in zip(cells, results):
+        data[cell.label] = views
         for kind, dist in views.items():
             rows.append(
-                [name, kind]
+                [cell.label, kind]
                 + [format_percent(dist[k], 1) for k in _ARITIES]
             )
             for k in _ARITIES:

@@ -1,8 +1,16 @@
-"""Figure 4: types of exit instructions, static and dynamic."""
+"""Figure 4: types of exit instructions, static and dynamic.
+
+Reproduces Figure 4: exit mix by control-flow type. gcc and xlisp carry
+a substantial indirect-branch/indirect-call share — the property that
+motivates the CTTB (§5.3).
+
+One cell per benchmark; see :mod:`repro.evalx.parallel`.
+"""
 
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.synth.profiles import get_profile
@@ -10,30 +18,46 @@ from repro.synth.stats_view import EXIT_TYPES, compute_stats
 from repro.synth.workloads import load_workload
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Reproduce Figure 4: exit mix by control-flow type.
+def _cell(name: str, tasks: int) -> dict[str, dict[str, float]]:
+    """Static and dynamic exit-type distributions for one benchmark."""
+    workload = load_workload(name, n_tasks=tasks)
+    stats = compute_stats(workload)
+    return {
+        "static": dict(stats.static_types),
+        "dynamic": dict(stats.dynamic_types),
+    }
 
-    gcc and xlisp carry a substantial indirect-branch/indirect-call share —
-    the property that motivates the CTTB (§5.3).
-    """
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    out = []
+    for name in BENCHMARKS:
+        tasks = effective_tasks(
+            n_tasks, quick, get_profile(name).default_dynamic_tasks
+        )
+        out.append(
+            Cell(
+                label=name,
+                fn=_cell,
+                kwargs={"name": name, "tasks": tasks},
+                workload=(name, tasks),
+            )
+        )
+    return out
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, dict[str, float]]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[str, dict[str, float]]] = {}
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name,
-            n_tasks=effective_tasks(
-                n_tasks, quick, get_profile(name).default_dynamic_tasks
-            ),
-        )
-        stats = compute_stats(workload)
-        views = {
-            "static": stats.static_types,
-            "dynamic": stats.dynamic_types,
-        }
-        data[name] = views
+    for cell, views in zip(cells, results):
+        data[cell.label] = views
         for kind, dist in views.items():
             rows.append(
-                [name, kind]
+                [cell.label, kind]
                 + [format_percent(dist[str(t)], 1) for t in EXIT_TYPES]
             )
     text = render_table(

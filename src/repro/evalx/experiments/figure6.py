@@ -1,8 +1,19 @@
-"""Figure 6: comparison of prediction automata on gcc."""
+"""Figure 6: comparison of prediction automata on gcc.
+
+Reproduces Figure 6: seven automata under an aggressive path predictor.
+The paper's finding — three performance tiers (LE worst; 2-bit VC and
+LEH-1 indistinguishable; 3-bit VC and LEH-2 indistinguishable and best)
+— is asserted by the test suite on this experiment's data.
+
+One cell per (depth, automaton); each cell reconstructs the same
+``DeterministicRng(depth).fork(spec)`` stream the serial sweep used, so
+randomised automata stay bit-identical under any worker count.
+"""
 
 from __future__ import annotations
 
 from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.automata import AUTOMATON_SPECS, make_automaton_factory
@@ -16,33 +27,48 @@ _DEPTHS = tuple(range(0, 10))
 _QUICK_DEPTHS = (0, 2, 4, 7)
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Reproduce Figure 6: seven automata under an aggressive path predictor.
-
-    The paper's finding — three performance tiers (LE worst; 2-bit VC and
-    LEH-1 indistinguishable; 3-bit VC and LEH-2 indistinguishable and best)
-    — is asserted by the test suite on this experiment's data.
-    """
-    workload = load_workload(
-        "gcc", n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+def _cell(depth: int, spec: str, tasks: int) -> float:
+    """Miss rate of one automaton at one history depth on gcc."""
+    workload = load_workload("gcc", n_tasks=tasks)
+    rng = DeterministicRng(depth).fork(spec)
+    predictor = IdealPathPredictor(
+        depth, automaton=make_automaton_factory(spec, rng)
     )
+    return simulate_exit_prediction(workload, predictor).miss_rate
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
     depths = _QUICK_DEPTHS if quick else _DEPTHS
+    return [
+        Cell(
+            label=f"d{depth}:{spec}",
+            fn=_cell,
+            kwargs={"depth": depth, "spec": spec, "tasks": tasks},
+            workload=("gcc", tasks),
+        )
+        for depth in depths
+        for spec in AUTOMATON_SPECS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[float],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    depths = list(_QUICK_DEPTHS if quick else _DEPTHS)
     series: dict[str, list[float]] = {spec: [] for spec in AUTOMATON_SPECS}
-    for depth in depths:
-        for spec in AUTOMATON_SPECS:
-            rng = DeterministicRng(depth).fork(spec)
-            predictor = IdealPathPredictor(
-                depth, automaton=make_automaton_factory(spec, rng)
-            )
-            stats = simulate_exit_prediction(workload, predictor)
-            series[spec].append(stats.miss_rate)
+    for cell, miss_rate in zip(cells, results):
+        series[cell.kwargs["spec"]].append(miss_rate)
     text = render_series(
-        "depth", list(depths), series,
+        "depth", depths, series,
         title="gcc miss rate by automaton (ideal path-based history)",
     )
     return ExperimentResult(
         experiment_id="figure6",
         title="Comparison of prediction automata (gcc)",
         text=text,
-        data={"depths": list(depths), "series": series},
+        data={"depths": depths, "series": series},
     )

@@ -1,8 +1,17 @@
-"""Figure 7: ideal (alias-free) GLOBAL vs PATH vs PER, per benchmark."""
+"""Figure 7: ideal (alias-free) GLOBAL vs PATH vs PER, per benchmark.
+
+Reproduces Figure 7: miss rate vs history depth for ideal predictors.
+Expected shapes (asserted by tests): PATH beats GLOBAL on every
+benchmark; PATH beats PER on four of five; sc is the exception where
+per-task cyclic behaviour lets PER win.
+
+One cell per (benchmark, scheme), each sweeping the full depth axis.
+"""
 
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.ideal import (
@@ -17,40 +26,66 @@ _DEFAULT_TASKS = 200_000
 _DEPTHS = tuple(range(0, 8))
 _QUICK_DEPTHS = (0, 2, 4, 7)
 
-_SCHEMES = (
-    ("global", IdealGlobalPredictor),
-    ("path", IdealPathPredictor),
-    ("per", IdealPerTaskPredictor),
-)
+_SCHEMES = {
+    "global": IdealGlobalPredictor,
+    "path": IdealPathPredictor,
+    "per": IdealPerTaskPredictor,
+}
 
 
-def run(
+def _cell(
+    name: str, scheme: str, depths: tuple[int, ...], tasks: int
+) -> list[float]:
+    """Miss rate of one ideal scheme across the depth sweep."""
+    workload = load_workload(name, n_tasks=tasks)
+    cls = _SCHEMES[scheme]
+    return [
+        simulate_exit_prediction(workload, cls(depth)).miss_rate
+        for depth in depths
+    ]
+
+
+def cells(
+    n_tasks: int | None = None,
+    quick: bool = False,
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    depths = _QUICK_DEPTHS if quick else _DEPTHS
+    return [
+        Cell(
+            label=f"{name}:{scheme}",
+            fn=_cell,
+            kwargs={
+                "name": name,
+                "scheme": scheme,
+                "depths": depths,
+                "tasks": tasks,
+            },
+            workload=(name, tasks),
+        )
+        for name in benchmarks
+        for scheme in _SCHEMES
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[list[float]],
     n_tasks: int | None = None,
     quick: bool = False,
     benchmarks: tuple[str, ...] = BENCHMARKS,
 ) -> ExperimentResult:
-    """Reproduce Figure 7: miss rate vs history depth for ideal predictors.
-
-    Expected shapes (asserted by tests): PATH beats GLOBAL on every
-    benchmark; PATH beats PER on four of five; sc is the exception where
-    per-task cyclic behaviour lets PER win.
-    """
-    depths = _QUICK_DEPTHS if quick else _DEPTHS
+    depths = list(_QUICK_DEPTHS if quick else _DEPTHS)
     sections = []
-    data: dict[str, dict] = {"depths": list(depths)}
+    data: dict[str, dict] = {"depths": depths}
+    for cell, curve in zip(cells, results):
+        name = cell.kwargs["name"]
+        data.setdefault(name, {})[cell.kwargs["scheme"]] = curve
     for name in benchmarks:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        series: dict[str, list[float]] = {}
-        for label, cls in _SCHEMES:
-            series[label] = [
-                simulate_exit_prediction(workload, cls(depth)).miss_rate
-                for depth in depths
-            ]
-        data[name] = series
+        series = data[name]
         sections.append(
-            render_series("depth", list(depths), series, title=name.upper())
+            render_series("depth", depths, series, title=name.upper())
         )
     return ExperimentResult(
         experiment_id="figure7",

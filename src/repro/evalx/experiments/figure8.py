@@ -1,8 +1,16 @@
-"""Figure 8: ideal (alias-free) CTTB for indirect-target prediction."""
+"""Figure 8: ideal (alias-free) CTTB for indirect-target prediction.
+
+Reproduces Figure 8: ideal CTTB miss rate vs history depth. Also reports
+the infinite plain-TTB miss rate of §5.3 — the comparison that motivates
+path correlation for indirect targets.
+
+One cell per (benchmark, depth) plus a plain-TTB cell per benchmark.
+"""
 
 from __future__ import annotations
 
 from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.ttb import (
@@ -24,38 +32,77 @@ _QUICK_DEPTHS = (0, 1, 3, 7)
 _LARGE_TTB_BITS = 22
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Reproduce Figure 8: ideal CTTB miss rate vs history depth.
+def _ttb_cell(name: str, tasks: int) -> dict[str, float | int]:
+    """Infinite plain-TTB miss rate and indirect-exit count."""
+    workload = load_workload(name, n_tasks=tasks)
+    stats = simulate_indirect_target_prediction(
+        workload, TaskTargetBuffer(index_bits=_LARGE_TTB_BITS)
+    )
+    return {"miss_rate": stats.miss_rate, "trials": stats.trials}
 
-    Also reports the infinite plain-TTB miss rate of §5.3 — the comparison
-    that motivates path correlation for indirect targets.
-    """
+
+def _cttb_cell(name: str, depth: int, tasks: int) -> float:
+    """Ideal-CTTB miss rate at one history depth."""
+    workload = load_workload(name, n_tasks=tasks)
+    return simulate_indirect_target_prediction(
+        workload, IdealCorrelatedTargetBuffer(depth)
+    ).miss_rate
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
     depths = _QUICK_DEPTHS if quick else _DEPTHS
-    sections = []
-    data: dict[str, dict] = {"depths": list(depths)}
+    out = []
     for name in _BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+        out.append(
+            Cell(
+                label=f"{name}:ttb",
+                fn=_ttb_cell,
+                kwargs={"name": name, "tasks": tasks},
+                workload=(name, tasks),
+            )
         )
-        ttb_stats = simulate_indirect_target_prediction(
-            workload, TaskTargetBuffer(index_bits=_LARGE_TTB_BITS)
+        out.extend(
+            Cell(
+                label=f"{name}:cttb-d{depth}",
+                fn=_cttb_cell,
+                kwargs={"name": name, "depth": depth, "tasks": tasks},
+                workload=(name, tasks),
+            )
+            for depth in depths
         )
+    return out
+
+
+def combine(
+    cells: list[Cell],
+    results: list,
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    depths = list(_QUICK_DEPTHS if quick else _DEPTHS)
+    ttb: dict[str, dict] = {}
+    cttb: dict[str, list[float]] = {name: [] for name in _BENCHMARKS}
+    for cell, payload in zip(cells, results):
+        name = cell.kwargs["name"]
+        if cell.fn is _ttb_cell:
+            ttb[name] = payload
+        else:
+            cttb[name].append(payload)
+    sections = []
+    data: dict[str, dict] = {"depths": depths}
+    for name in _BENCHMARKS:
         series = {
-            "ideal CTTB": [
-                simulate_indirect_target_prediction(
-                    workload, IdealCorrelatedTargetBuffer(depth)
-                ).miss_rate
-                for depth in depths
-            ],
-            "infinite TTB": [ttb_stats.miss_rate] * len(depths),
+            "ideal CTTB": cttb[name],
+            "infinite TTB": [ttb[name]["miss_rate"]] * len(depths),
         }
         data[name] = {
-            "cttb": series["ideal CTTB"],
-            "ttb": ttb_stats.miss_rate,
-            "indirect_exits": ttb_stats.trials,
+            "cttb": cttb[name],
+            "ttb": ttb[name]["miss_rate"],
+            "indirect_exits": ttb[name]["trials"],
         }
         sections.append(
-            render_series("depth", list(depths), series, title=name.upper())
+            render_series("depth", depths, series, title=name.upper())
         )
     return ExperimentResult(
         experiment_id="figure8",

@@ -16,8 +16,15 @@ def _verdict(ok: bool) -> str:
     return "REPRODUCED" if ok else "DEVIATION"
 
 
-def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
-    """Run the scoreboard (always quick-mode unless n_tasks overrides)."""
+def run(
+    n_tasks: int | None = None,
+    quick: bool = True,
+    jobs: int | None = None,
+) -> ExperimentResult:
+    """Run the scoreboard (always quick-mode unless n_tasks overrides).
+
+    ``jobs`` is forwarded to each underlying paper experiment.
+    """
     from repro.evalx.registry import run_experiment
 
     rows: list[list[str]] = []
@@ -31,7 +38,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
     # need longer traces than quick mode's default.
     deep_tasks = n_tasks if n_tasks is not None else 120_000
 
-    table2 = run_experiment("table2", n_tasks=deep_tasks, quick=quick)
+    table2 = run_experiment(
+        "table2", n_tasks=deep_tasks, quick=quick, jobs=jobs
+    )
     seen = {
         name: row["distinct_tasks_seen"] for name, row in table2.data.items()
     }
@@ -42,7 +51,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
         and seen["compress"] == min(seen.values()),
     )
 
-    figure6 = run_experiment("figure6", n_tasks=n_tasks, quick=quick)
+    figure6 = run_experiment(
+        "figure6", n_tasks=n_tasks, quick=quick, jobs=jobs
+    )
     series = figure6.data["series"]
     record(
         "automata stratify: LE worst, LEH-2 among best",
@@ -51,7 +62,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
         and series["LEH-2"][-1] <= series["VC2-MRU"][-1] + 0.002,
     )
 
-    figure7 = run_experiment("figure7", n_tasks=deep_tasks, quick=quick)
+    figure7 = run_experiment(
+        "figure7", n_tasks=deep_tasks, quick=quick, jobs=jobs
+    )
     path_beats_global = all(
         figure7.data[name]["path"][-1]
         <= figure7.data[name]["global"][-1] + 0.003
@@ -67,7 +80,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
         < figure7.data["gcc"]["per"][-1],
     )
 
-    figure8 = run_experiment("figure8", n_tasks=n_tasks, quick=quick)
+    figure8 = run_experiment(
+        "figure8", n_tasks=n_tasks, quick=quick, jobs=jobs
+    )
     record(
         "CTTB strongly outperforms the plain TTB for indirect targets",
         "Figure 8",
@@ -78,7 +93,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
         ),
     )
 
-    figure10 = run_experiment("figure10", n_tasks=n_tasks, quick=quick)
+    figure10 = run_experiment(
+        "figure10", n_tasks=n_tasks, quick=quick, jobs=jobs
+    )
     record(
         "real 8KB predictors track the alias-free ideal",
         "Figure 10",
@@ -91,7 +108,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
         ),
     )
 
-    table3 = run_experiment("table3", n_tasks=n_tasks, quick=quick)
+    table3 = run_experiment(
+        "table3", n_tasks=n_tasks, quick=quick, jobs=jobs
+    )
     record(
         "header-based prediction beats CTTB-only at 1/4 the storage",
         "Table 3",
@@ -101,7 +120,9 @@ def run(n_tasks: int | None = None, quick: bool = True) -> ExperimentResult:
         ),
     )
 
-    table4 = run_experiment("table4", n_tasks=n_tasks, quick=quick)
+    table4 = run_experiment(
+        "table4", n_tasks=n_tasks, quick=quick, jobs=jobs
+    )
     record(
         "better task prediction raises IPC; Perfect bounds all schemes",
         "Table 4",

@@ -1,8 +1,18 @@
-"""Table 4: IPC from the timing simulator, per prediction scheme."""
+"""Table 4: IPC from the timing simulator, per prediction scheme.
+
+Reproduces Table 4: IPC per prediction scheme on a 4-unit machine. The
+reproduction target is the ordering Simple <= GLOBAL/PER <= PATH <=
+Perfect with PATH's largest gains on gcc and xlisp — absolute IPCs
+depend on the task-granularity timing model's calibration.
+
+One cell per (benchmark, scheme); the (dataclass, hence picklable)
+``TimingConfig`` travels inside each cell's kwargs.
+"""
 
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell
 from repro.evalx.report import render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.base import NextTaskPredictor
@@ -74,33 +84,56 @@ def _make_predictor(
     )
 
 
-def run(
+def _cell(
+    name: str, scheme: str, tasks: int, config: TimingConfig
+) -> float:
+    """IPC of one scheme on one benchmark."""
+    workload = load_workload(name, n_tasks=tasks)
+    predictor = _make_predictor(scheme, workload)
+    return simulate_timing(workload, predictor, config=config).ipc
+
+
+def cells(
+    n_tasks: int | None = None,
+    quick: bool = False,
+    config: TimingConfig | None = None,
+) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    config = config or TimingConfig()
+    return [
+        Cell(
+            label=f"{name}:{scheme}",
+            fn=_cell,
+            kwargs={
+                "name": name,
+                "scheme": scheme,
+                "tasks": tasks,
+                "config": config,
+            },
+            workload=(name, tasks),
+        )
+        for name in BENCHMARKS
+        for scheme in SCHEMES
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[float],
     n_tasks: int | None = None,
     quick: bool = False,
     config: TimingConfig | None = None,
 ) -> ExperimentResult:
-    """Reproduce Table 4: IPC per prediction scheme on a 4-unit machine.
-
-    The reproduction target is the ordering Simple <= GLOBAL/PER <= PATH <=
-    Perfect with PATH's largest gains on gcc and xlisp — absolute IPCs
-    depend on the task-granularity timing model's calibration.
-    """
-    config = config or TimingConfig()
-    rows = []
     data: dict[str, dict[str, float]] = {}
+    for cell, ipc in zip(cells, results):
+        data.setdefault(cell.kwargs["name"], {})[
+            cell.kwargs["scheme"]
+        ] = ipc
+    rows = []
     for name in BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        ipcs: dict[str, float] = {}
-        for scheme in SCHEMES:
-            predictor = _make_predictor(scheme, workload)
-            result = simulate_timing(workload, predictor, config=config)
-            ipcs[scheme] = result.ipc
-        data[name] = ipcs
         row: list[object] = [name]
         for scheme in SCHEMES:
-            row.append(f"{ipcs[scheme]:.2f}")
+            row.append(f"{data[name][scheme]:.2f}")
             row.append(f"({PAPER_IPC[name][scheme]:.2f})")
         rows.append(row)
     headers = ["Benchmark"]

@@ -1,0 +1,138 @@
+"""Parallel experiment engine: fan (benchmark x config) cells to workers.
+
+Every paper experiment is a grid of independent simulations — benchmarks
+crossed with predictor configurations — so each driver module exposes its
+grid explicitly:
+
+* ``cells(n_tasks=..., quick=..., **kwargs)`` returns a list of
+  :class:`Cell` work units (a module-level function plus picklable
+  keyword arguments);
+* ``combine(cells, results, ...)`` assembles the cell payloads, in cell
+  order, into the final :class:`~repro.evalx.result.ExperimentResult`.
+
+:func:`run_sharded` executes the grid either serially (the default — the
+results are byte-identical either way) or across a
+``ProcessPoolExecutor`` when ``jobs`` asks for workers. Determinism is
+structural: cells share no mutable state, results are collected in
+submission order, and ``combine`` never sees which path produced them.
+
+Before fanning out, the scheduler pre-warms each distinct workload in
+the parent process so trace generation happens once, not once per
+worker: forked workers inherit the in-memory caches, and (when the disk
+cache is enabled) spawned workers find warm ``.repro-cache`` entries
+written atomically by :mod:`repro.synth.workloads`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.evalx.result import ExperimentResult
+from repro.synth.workloads import prewarm_workload
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent work unit of an experiment grid.
+
+    Attributes:
+        label: Human-readable cell name (``"gcc:path"``) used in progress
+            and error messages.
+        fn: A module-level function (picklable by reference) computing the
+            cell's payload from ``kwargs``.
+        kwargs: Keyword arguments for ``fn``; must be picklable.
+        workload: Optional ``(benchmark, n_tasks)`` this cell will load,
+            so the scheduler can pre-warm shared traces before fan-out.
+    """
+
+    label: str
+    fn: Callable[..., Any]
+    kwargs: dict = field(default_factory=dict)
+    workload: tuple[str, int | None] | None = None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value to a concrete worker count.
+
+    ``None`` (the default) means serial; ``0`` means one worker per CPU;
+    positive values are taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _run_cell(cell: Cell) -> Any:
+    return cell.fn(**cell.kwargs)
+
+
+def _wrap_failure(cell: Cell, exc: BaseException) -> ExperimentError:
+    return ExperimentError(
+        f"cell {cell.label!r} ({getattr(cell.fn, '__module__', '?')}) "
+        f"failed: {exc!r}"
+    )
+
+
+def _prewarm(cells: Sequence[Cell]) -> None:
+    """Generate each distinct workload once, before workers exist."""
+    seen: set[tuple[str, int | None]] = set()
+    for cell in cells:
+        if cell.workload is not None and cell.workload not in seen:
+            seen.add(cell.workload)
+            prewarm_workload(*cell.workload)
+
+
+def execute_cells(cells: Sequence[Cell], jobs: int | None = None) -> list:
+    """Run every cell and return payloads in cell order.
+
+    With ``jobs`` resolving to one worker (or a single cell) this is a
+    plain loop; otherwise cells are fanned over a process pool. Either
+    way a failing cell raises :class:`~repro.errors.ExperimentError`
+    naming the cell, chained to the original exception.
+    """
+    n_workers = resolve_jobs(jobs)
+    if n_workers <= 1 or len(cells) <= 1:
+        results = []
+        for cell in cells:
+            try:
+                results.append(_run_cell(cell))
+            except Exception as exc:
+                raise _wrap_failure(cell, exc) from exc
+        return results
+
+    _prewarm(cells)
+    results = []
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(cells))
+    ) as pool:
+        futures = [pool.submit(_run_cell, cell) for cell in cells]
+        for cell, future in zip(cells, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise _wrap_failure(cell, exc) from exc
+    return results
+
+
+def run_sharded(
+    module,
+    n_tasks: int | None = None,
+    quick: bool = False,
+    jobs: int | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run a cell-structured experiment module end to end."""
+    cells = module.cells(n_tasks=n_tasks, quick=quick, **kwargs)
+    results = execute_cells(cells, jobs=jobs)
+    return module.combine(
+        cells, results, n_tasks=n_tasks, quick=quick, **kwargs
+    )

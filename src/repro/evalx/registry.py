@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import importlib
+import inspect
 
 from repro.errors import ExperimentError
+from repro.evalx.parallel import run_sharded
 from repro.evalx.result import ExperimentResult
 
 #: Every reproducible table and figure, in paper order.
@@ -44,13 +46,17 @@ def run_experiment(
     experiment_id: str,
     n_tasks: int | None = None,
     quick: bool = False,
+    jobs: int | None = None,
     **kwargs,
 ) -> ExperimentResult:
     """Run the named experiment and return its result.
 
     ``n_tasks`` overrides the trace length; ``quick`` shrinks both trace
-    and sweep for smoke runs. Extra keyword arguments pass through to the
-    driver (e.g. ``benchmarks=("gcc",)`` for figure7/figure10).
+    and sweep for smoke runs. ``jobs`` fans the experiment's independent
+    (benchmark x config) cells over worker processes: ``None`` runs
+    serially, ``0`` uses every CPU, and any value produces identical
+    results. Extra keyword arguments pass through to the driver (e.g.
+    ``benchmarks=("gcc",)`` for figure7/figure10).
     """
     if experiment_id not in ALL_IDS:
         raise ExperimentError(
@@ -59,4 +65,12 @@ def run_experiment(
     module = importlib.import_module(
         f"repro.evalx.experiments.{experiment_id}"
     )
+    if hasattr(module, "cells"):
+        return run_sharded(
+            module, n_tasks=n_tasks, quick=quick, jobs=jobs, **kwargs
+        )
+    # Legacy monolithic drivers (extensions, summary) run serially;
+    # summary forwards ``jobs`` to the paper experiments it re-runs.
+    if "jobs" in inspect.signature(module.run).parameters:
+        kwargs["jobs"] = jobs
     return module.run(n_tasks=n_tasks, quick=quick, **kwargs)

@@ -22,12 +22,21 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
 from repro.predictors.automata import (
+    LastExit,
+    LastExitHysteresis,
     MultiwayAutomaton,
     make_automaton_factory,
 )
 from repro.predictors.base import ExitPredictor
+from repro.utils.windows import (
+    group_by_global_history,
+    group_by_path,
+    group_by_per_key_history,
+)
 
 
 def _resolve_factory(
@@ -88,6 +97,43 @@ class _IdealPredictorBase(ExitPredictor):
     def storage_bits(self) -> int:
         return 0  # unbounded by definition
 
+    # -- batched simulation support ------------------------------------
+
+    def _batch_group_ids(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> np.ndarray:
+        """Per-step table keys as dense integer ids."""
+        raise NotImplementedError
+
+    def batch_plan(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> tuple[np.ndarray, int] | None:
+        """Plan a vectorized run: ``(per-step key ids, hysteresis bits)``.
+
+        The batched exit-prediction kernel in
+        :mod:`repro.sim.functional` uses the dense key ids in place of
+        this predictor's key tuples, and replays LE/LEH automaton
+        semantics itself. Returns None when the configuration has no
+        exact batched equivalent (voting-counter automata, or updating on
+        single-exit tasks), in which case the caller falls back to the
+        step-by-step loop. Only valid for a freshly constructed predictor:
+        the kernel does not read or write ``self._table``.
+        """
+        if self._update_on_single_exit:
+            return None
+        probe = self._factory()
+        if type(probe) is LastExitHysteresis:
+            hysteresis_bits = probe.bits_per_entry() - 2
+        elif type(probe) is LastExit:
+            hysteresis_bits = 0
+        else:
+            return None
+        ids = self._batch_group_ids(
+            np.asarray(task_addrs, dtype=np.int64),
+            np.asarray(actual_exits, dtype=np.int64),
+        )
+        return ids, hysteresis_bits
+
 
 class IdealGlobalPredictor(_IdealPredictorBase):
     """Alias-free GLOBAL: global exit history, unique automaton per state."""
@@ -107,6 +153,13 @@ class IdealGlobalPredictor(_IdealPredictorBase):
     def _advance_history(self, task_addr: int, actual_exit: int) -> None:
         if self._depth:
             self._history.append(actual_exit)
+
+    def _batch_group_ids(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> np.ndarray:
+        return group_by_global_history(
+            task_addrs, actual_exits, self._depth
+        )
 
 
 class IdealPerTaskPredictor(_IdealPredictorBase):
@@ -136,6 +189,13 @@ class IdealPerTaskPredictor(_IdealPredictorBase):
         if self._depth:
             self._task_history(task_addr).append(actual_exit)
 
+    def _batch_group_ids(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> np.ndarray:
+        return group_by_per_key_history(
+            task_addrs, actual_exits, self._depth
+        )
+
 
 class IdealPathPredictor(_IdealPredictorBase):
     """Alias-free PATH: the last D task addresses identify the path."""
@@ -155,3 +215,8 @@ class IdealPathPredictor(_IdealPredictorBase):
     def _advance_history(self, task_addr: int, actual_exit: int) -> None:
         if self._depth:
             self._path.append(task_addr)
+
+    def _batch_group_ids(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> np.ndarray:
+        return group_by_path(task_addrs, self._depth)

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from collections import Counter
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
 from repro.predictors.base import ExitPredictor
 from repro.synth.trace import TaskTrace
@@ -70,6 +72,35 @@ class StaticHintExitPredictor(ExitPredictor):
     def predict(self, task_addr: int, n_exits: int) -> int:
         hint = self._hints.get(task_addr, 0)
         return min(hint, n_exits - 1)
+
+    def predict_column(
+        self, task_addrs: np.ndarray, n_exits_col: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict` over whole trace columns.
+
+        Static hints never adapt, so a batch of predictions is exact; the
+        functional simulator uses this column instead of its per-step
+        loop.
+        """
+        addrs = np.asarray(task_addrs, dtype=np.int64)
+        if self._hints:
+            keys = np.fromiter(
+                self._hints.keys(), dtype=np.int64, count=len(self._hints)
+            )
+            vals = np.fromiter(
+                self._hints.values(), dtype=np.int64, count=len(self._hints)
+            )
+            order = np.argsort(keys)
+            keys, vals = keys[order], vals[order]
+            pos = np.clip(
+                np.searchsorted(keys, addrs), 0, len(keys) - 1
+            )
+            hints = np.where(keys[pos] == addrs, vals[pos], 0)
+        else:
+            hints = np.zeros(len(addrs), dtype=np.int64)
+        return np.minimum(
+            hints, np.asarray(n_exits_col, dtype=np.int64) - 1
+        )
 
     def update(self, task_addr: int, n_exits: int, actual_exit: int) -> None:
         """Static prediction never adapts; hints are fixed at compile time."""

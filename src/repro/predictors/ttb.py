@@ -23,9 +23,12 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
 from repro.predictors.folding import DolcSpec
 from repro.utils.bits import bit_mask
+from repro.utils.windows import factorize, group_by_path
 
 _ALIGN_SHIFT = 2
 
@@ -57,6 +60,11 @@ class _TargetEntry:
 class _BufferBase:
     """Shared predict/update over a lazily populated entry map."""
 
+    #: Whether :meth:`observe_step` carries state (path-indexed buffers).
+    #: The functional simulator skips non-indirect steps entirely for
+    #: buffers that don't observe them.
+    observes_steps = True
+
     def __init__(self, address_bits: int = 32) -> None:
         self._entries: dict[int | tuple, _TargetEntry] = {}
         self._address_bits = address_bits
@@ -86,6 +94,8 @@ class _BufferBase:
 class TaskTargetBuffer(_BufferBase):
     """Plain TTB: direct-mapped on task-address bits (no path correlation)."""
 
+    observes_steps = False
+
     def __init__(self, index_bits: int = 11, address_bits: int = 32) -> None:
         super().__init__(address_bits)
         if index_bits < 1:
@@ -97,6 +107,21 @@ class TaskTargetBuffer(_BufferBase):
 
     def observe_step(self, task_addr: int) -> None:
         """No-op: a plain TTB keeps no history. Present for API symmetry."""
+
+    def batch_slot_ids(
+        self, task_addrs: np.ndarray
+    ) -> np.ndarray | None:
+        """Vectorized :meth:`_slot` over a whole trace column.
+
+        Returns dense slot ids for the batched kernel in
+        :mod:`repro.sim.functional`; ids are only meaningful relative to
+        each other. Only valid for a freshly constructed buffer.
+        """
+        slots = (
+            np.asarray(task_addrs, dtype=np.int64) >> _ALIGN_SHIFT
+        ) & bit_mask(self._index_bits)
+        ids, _ = factorize(slots)
+        return ids
 
     def storage_bits(self) -> int:
         """Full-capacity cost: a target and counter per entry."""
@@ -155,6 +180,19 @@ class IdealCorrelatedTargetBuffer(_BufferBase):
         """Shift a retired task's address into the path register."""
         if self._depth:
             self._path.append(task_addr)
+
+    def batch_slot_ids(
+        self, task_addrs: np.ndarray
+    ) -> np.ndarray | None:
+        """Vectorized :meth:`_slot` over a whole trace column.
+
+        The slot key of step ``i`` is the task address plus the path
+        register as of step ``i`` — the previous ``depth`` task addresses,
+        since every step is fed through :meth:`observe_step`. Only valid
+        for a freshly constructed buffer.
+        """
+        addrs = np.asarray(task_addrs, dtype=np.int64)
+        return group_by_path(addrs, self._depth)
 
     def storage_bits(self) -> int:
         return 0  # unbounded by definition

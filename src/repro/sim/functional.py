@@ -12,11 +12,29 @@ Implements the paper's methodology (§3.1) exactly:
 Three entry points mirror the paper's three measurement kinds: exit
 prediction (Figures 6/7/10/11), indirect target prediction (Figures 8/12),
 and full next-task address prediction (Table 3).
+
+Each simulator has two execution strategies that produce bit-identical
+statistics:
+
+* a **generic loop** that drives any predictor through its
+  ``predict``/``update`` interface, one trace record at a time; and
+* a **batched kernel** used when the predictor advertises an exact
+  vectorized equivalent — the ideal (alias-free) predictors and target
+  buffers expose their per-step table keys as dense integer ids
+  (``batch_plan`` / ``batch_slot_ids``), and stateless predictors expose
+  whole-column predictions (``predict_column``). The kernels replace
+  per-step tuple hashing and method dispatch with numpy preprocessing
+  plus a tight integer loop over only the steps that can miss.
+
+Pass ``vectorize=False`` to force the generic loop (the equivalence tests
+do exactly that). Batched kernels never mutate the predictor object; a
+predictor that must be inspected after simulation should be driven with
+``vectorize=False``.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.predictors.base import ExitPredictor, NextTaskPredictor
@@ -31,22 +49,194 @@ from repro.synth.workloads import Workload
 #: Codes of INDIRECT_BRANCH / INDIRECT_CALL in trace arrays.
 _INDIRECT_CODES = (3, 4)
 
+#: Hysteresis bounds of a target-buffer entry (see ``_TargetEntry``).
+_TARGET_COUNTER_MAX = 3
+
 
 def _exit_counts(workload: Workload) -> dict[int, int]:
     """Map task address -> number of header exits."""
     return workload.exit_counts()
 
 
+def _exit_count_column(
+    workload: Workload, task_addrs: np.ndarray
+) -> np.ndarray:
+    """Per-step header-exit counts as a numpy column.
+
+    Vectorizes the address -> exit-count mapping once per trace instead
+    of a dict lookup per step. Raises :class:`SimulationError` if the
+    trace references a task the program doesn't define.
+    """
+    addrs = np.asarray(task_addrs, dtype=np.int64)
+    if addrs.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    counts = _exit_counts(workload)
+    if not counts:
+        raise SimulationError(
+            f"trace references unknown task {int(addrs[0]):#x}"
+        )
+    keys = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+    vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+    order = np.argsort(keys)
+    keys, vals = keys[order], vals[order]
+    pos = np.minimum(np.searchsorted(keys, addrs), len(keys) - 1)
+    mismatched = np.flatnonzero(keys[pos] != addrs)
+    if mismatched.size:
+        missing = int(addrs[mismatched[0]])
+        raise SimulationError(
+            f"trace references unknown task {missing:#x}"
+        )
+    return vals[pos]
+
+
+def _check_single_exit_legality(
+    task_addrs: np.ndarray,
+    actual_exits: np.ndarray,
+    multiway: np.ndarray,
+) -> None:
+    """A single-exit task can only ever take exit 0 in a legal trace."""
+    bad = np.flatnonzero(~multiway & (actual_exits != 0))
+    if bad.size:
+        step = int(bad[0])
+        raise SimulationError(
+            f"single-exit task {int(task_addrs[step]):#x} took exit "
+            f"{int(actual_exits[step])}"
+        )
+
+
+def _leh_group_kernel(
+    group_ids: np.ndarray,
+    actual_exits: np.ndarray,
+    prediction_caps: np.ndarray,
+    hysteresis_bits: int,
+) -> tuple[int, int]:
+    """Replay LE/LEH automata over pre-grouped multiway steps.
+
+    ``group_ids`` are dense table-key ids (one automaton per id);
+    ``prediction_caps`` holds ``n_exits - 1`` per step (predictions are
+    clamped into the task's legal exit range). ``hysteresis_bits=0``
+    replays the plain last-exit automaton. Returns
+    ``(misses, states_touched)`` — bit-identical to driving the ideal
+    predictor's dict-of-automata step by step.
+    """
+    if not len(group_ids):
+        return 0, 0
+    n_groups = int(group_ids.max()) + 1
+    exit_of = [0] * n_groups
+    confidence_of = [0] * n_groups
+    seen = bytearray(n_groups)
+    max_confidence = (1 << hysteresis_bits) - 1 if hysteresis_bits else 0
+    misses = 0
+    states = 0
+    for group, actual, cap in zip(
+        group_ids.tolist(), actual_exits.tolist(), prediction_caps.tolist()
+    ):
+        if seen[group]:
+            stored = exit_of[group]
+            if (stored if stored <= cap else cap) != actual:
+                misses += 1
+            if actual == stored:
+                conf = confidence_of[group]
+                if conf < max_confidence:
+                    confidence_of[group] = conf + 1
+            else:
+                conf = confidence_of[group]
+                if conf > 0:
+                    confidence_of[group] = conf - 1
+                else:
+                    exit_of[group] = actual
+        else:
+            # First touch: predict() finds no automaton and returns 0;
+            # update() then creates one and trains it on the outcome.
+            seen[group] = 1
+            states += 1
+            if actual:
+                misses += 1
+                exit_of[group] = actual
+            elif max_confidence:
+                confidence_of[group] = 1
+    return misses, states
+
+
+def _batched_exit_stats(
+    predictor: ExitPredictor,
+    task_addrs: np.ndarray,
+    actual_exits: np.ndarray,
+    n_exits_col: np.ndarray,
+) -> ExitPredictionStats | None:
+    """Run a batched kernel if the predictor supports one, else None."""
+    multiway = n_exits_col > 1
+    plan_fn = getattr(predictor, "batch_plan", None)
+    if plan_fn is not None:
+        plan = plan_fn(task_addrs, actual_exits)
+        if plan is None:
+            return None
+        _check_single_exit_legality(task_addrs, actual_exits, multiway)
+        group_ids, hysteresis_bits = plan
+        steps = np.flatnonzero(multiway)
+        misses, states = _leh_group_kernel(
+            group_ids[steps],
+            actual_exits[steps].astype(np.int64),
+            n_exits_col[steps].astype(np.int64) - 1,
+            hysteresis_bits,
+        )
+        return ExitPredictionStats(
+            trials=len(task_addrs),
+            misses=misses,
+            multiway_trials=int(steps.size),
+            multiway_misses=misses,
+            states_touched=states,
+            storage_bits=predictor.storage_bits(),
+        )
+    column_fn = getattr(predictor, "predict_column", None)
+    if column_fn is not None:
+        predicted = np.asarray(
+            column_fn(task_addrs, n_exits_col), dtype=np.int64
+        )
+        wrong = predicted != np.asarray(actual_exits, dtype=np.int64)
+        bad = np.flatnonzero(~multiway & wrong)
+        if bad.size:
+            step = int(bad[0])
+            raise SimulationError(
+                f"single-exit task {int(task_addrs[step]):#x} took exit "
+                f"{int(actual_exits[step])}"
+            )
+        misses = int((wrong & multiway).sum())
+        return ExitPredictionStats(
+            trials=len(task_addrs),
+            misses=misses,
+            multiway_trials=int(multiway.sum()),
+            multiway_misses=misses,
+            states_touched=predictor.states_touched(),
+            storage_bits=predictor.storage_bits(),
+        )
+    return None
+
+
 def simulate_exit_prediction(
     workload: Workload,
     predictor: ExitPredictor,
     limit: int | None = None,
+    vectorize: bool = True,
 ) -> ExitPredictionStats:
-    """Run ``predictor`` over the workload's trace; return accuracy stats."""
+    """Run ``predictor`` over the workload's trace; return accuracy stats.
+
+    Uses the predictor's batched kernel when it advertises an exact one
+    (see the module docstring); set ``vectorize=False`` to force the
+    step-by-step loop.
+    """
     trace = workload.trace if limit is None else workload.trace.head(limit)
-    n_exits_of = _exit_counts(workload)
+    n_exits_col = _exit_count_column(workload, trace.task_addr)
+    if vectorize:
+        stats = _batched_exit_stats(
+            predictor, trace.task_addr, trace.exit_index, n_exits_col
+        )
+        if stats is not None:
+            return stats
+
     task_addrs = trace.task_addr.tolist()
     actual_exits = trace.exit_index.tolist()
+    exit_counts = n_exits_col.tolist()
 
     predict = predictor.predict
     update = predictor.update
@@ -54,8 +244,7 @@ def simulate_exit_prediction(
     misses = 0
     multiway_trials = 0
     multiway_misses = 0
-    for addr, actual in zip(task_addrs, actual_exits):
-        n_exits = n_exits_of[addr]
+    for addr, actual, n_exits in zip(task_addrs, actual_exits, exit_counts):
         predicted = predict(addr, n_exits)
         if n_exits > 1:
             multiway_trials += 1
@@ -77,10 +266,51 @@ def simulate_exit_prediction(
     )
 
 
+def _target_group_kernel(
+    group_ids: np.ndarray, next_addrs: np.ndarray
+) -> tuple[int, int]:
+    """Replay hysteresis target entries over pre-grouped indirect steps.
+
+    ``group_ids`` are dense buffer-slot ids at each indirect exit, in
+    trace order. Returns ``(misses, entries_touched)`` — bit-identical to
+    driving a buffer's ``predict``/``update`` pair per indirect step.
+    """
+    if not len(group_ids):
+        return 0, 0
+    n_groups = int(group_ids.max()) + 1
+    target_of = [0] * n_groups
+    counter_of = [0] * n_groups
+    seen = bytearray(n_groups)
+    misses = 0
+    entries = 0
+    for group, actual in zip(group_ids.tolist(), next_addrs.tolist()):
+        if seen[group]:
+            stored = target_of[group]
+            if stored != actual:
+                misses += 1
+                counter = counter_of[group]
+                if counter > 0:
+                    counter_of[group] = counter - 1
+                else:
+                    target_of[group] = actual
+                    counter_of[group] = 1
+            elif counter_of[group] < _TARGET_COUNTER_MAX:
+                counter_of[group] += 1
+        else:
+            # Compulsory miss: predict() returns None, update() allocates.
+            seen[group] = 1
+            entries += 1
+            misses += 1
+            target_of[group] = actual
+            counter_of[group] = 1
+    return misses, entries
+
+
 def simulate_indirect_target_prediction(
     workload: Workload,
     buffer,
     limit: int | None = None,
+    vectorize: bool = True,
 ) -> TargetPredictionStats:
     """Measure a TTB/CTTB on the workload's indirect exits.
 
@@ -88,22 +318,60 @@ def simulate_indirect_target_prediction(
     (``predict``/``update``/``observe_step``/``entries_touched``/
     ``storage_bits``). Every retired task is fed to ``observe_step`` so
     path-indexed buffers track program progress; predictions happen only at
-    INDIRECT_BRANCH / INDIRECT_CALL exits.
+    INDIRECT_BRANCH / INDIRECT_CALL exits. Buffers that advertise
+    ``batch_slot_ids`` run through a batched kernel instead (identical
+    results); ``vectorize=False`` forces the step loop.
     """
     trace = workload.trace if limit is None else workload.trace.head(limit)
-    task_addrs = trace.task_addr.tolist()
-    cf_codes = trace.cf_type.tolist()
-    next_addrs = trace.next_addr.tolist()
+    indirect_mask = np.isin(trace.cf_type, _INDIRECT_CODES)
+    indirect_steps = np.flatnonzero(indirect_mask)
 
-    trials = 0
+    if vectorize:
+        batch_fn = getattr(buffer, "batch_slot_ids", None)
+        if batch_fn is not None:
+            if getattr(buffer, "observes_steps", True):
+                # Path-indexed slots depend on every step; compute the
+                # full column, then keep the indirect rows.
+                slot_ids = batch_fn(trace.task_addr)
+                if slot_ids is not None:
+                    slot_ids = slot_ids[indirect_steps]
+            else:
+                # History-free slots: only the indirect rows matter.
+                slot_ids = batch_fn(trace.task_addr[indirect_steps])
+            if slot_ids is not None:
+                misses, entries = _target_group_kernel(
+                    slot_ids,
+                    trace.next_addr[indirect_steps].astype(np.int64),
+                )
+                return TargetPredictionStats(
+                    trials=int(indirect_steps.size),
+                    misses=misses,
+                    entries_touched=entries,
+                    storage_bits=buffer.storage_bits(),
+                )
+
+    trials = int(indirect_steps.size)
     misses = 0
-    for addr, cf_code, next_addr in zip(task_addrs, cf_codes, next_addrs):
-        if cf_code in _INDIRECT_CODES:
-            trials += 1
+    if not getattr(buffer, "observes_steps", True):
+        # The buffer ignores non-indirect steps; only visit indirect ones.
+        task_addrs = trace.task_addr[indirect_steps].tolist()
+        next_addrs = trace.next_addr[indirect_steps].tolist()
+        for addr, next_addr in zip(task_addrs, next_addrs):
             if buffer.predict(addr) != next_addr:
                 misses += 1
             buffer.update(addr, next_addr)
-        buffer.observe_step(addr)
+    else:
+        task_addrs = trace.task_addr.tolist()
+        next_addrs = trace.next_addr.tolist()
+        flags = indirect_mask.tolist()
+        for addr, is_indirect, next_addr in zip(
+            task_addrs, flags, next_addrs
+        ):
+            if is_indirect:
+                if buffer.predict(addr) != next_addr:
+                    misses += 1
+                buffer.update(addr, next_addr)
+            buffer.observe_step(addr)
     return TargetPredictionStats(
         trials=trials,
         misses=misses,
@@ -124,24 +392,41 @@ def simulate_task_prediction(
     cf_codes = trace.cf_type.tolist()
     next_addrs = trace.next_addr.tolist()
 
+    # The per-type trial counts don't depend on the predictor; count them
+    # vectorized and keep the inner loop free of string conversions by
+    # indexing miss counters with the raw control-flow code.
+    n_codes = max(CF_TYPE_FROM_CODE) + 1
+    code_trials = np.bincount(trace.cf_type, minlength=n_codes)
+    misses_by_code = [0] * n_codes
+
     predict = predictor.predict
     update = predictor.update
     misses = 0
-    misses_by_type: Counter = Counter()
-    trials_by_type: Counter = Counter()
     for addr, actual_exit, cf_code, next_addr in zip(
         task_addrs, actual_exits, cf_codes, next_addrs
     ):
-        type_name = str(CF_TYPE_FROM_CODE[cf_code])
-        trials_by_type[type_name] += 1
         if predict(addr) != next_addr:
             misses += 1
-            misses_by_type[type_name] += 1
+            misses_by_code[cf_code] += 1
         update(addr, actual_exit, cf_code, next_addr)
+
+    type_names = {
+        code: str(cf_type) for code, cf_type in CF_TYPE_FROM_CODE.items()
+    }
+    trials_by_type = {
+        type_names[code]: int(count)
+        for code, count in enumerate(code_trials)
+        if count
+    }
+    misses_by_type = {
+        type_names[code]: count
+        for code, count in enumerate(misses_by_code)
+        if count
+    }
     return TaskPredictionStats(
         trials=len(task_addrs),
         address_misses=misses,
-        misses_by_type=dict(misses_by_type),
-        trials_by_type=dict(trials_by_type),
+        misses_by_type=misses_by_type,
+        trials_by_type=trials_by_type,
         storage_bits=predictor.storage_bits(),
     )

@@ -12,10 +12,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from zipfile import BadZipFile
 
 import numpy as np
 
 from repro.compiler import PartitionConfig, compile_program
+from repro.errors import TraceError
 from repro.compiler.compiled import CompiledProgram
 from repro.synth.executor import TraceExecutor
 from repro.synth.generator import (
@@ -84,6 +86,23 @@ def _cache_dir() -> Path | None:
     return Path(configured)
 
 
+def disk_cache_enabled() -> bool:
+    """Whether traces are persisted to disk (see ``REPRO_CACHE_DIR``)."""
+    return _cache_dir() is not None
+
+
+def prewarm_workload(name: str, n_tasks: int | None = None) -> str:
+    """Generate one workload and publish its trace to the disk cache.
+
+    The parallel experiment scheduler runs this once per distinct
+    (benchmark, length) before fanning cells out, so worker processes
+    find warm cache entries instead of each regenerating the same trace.
+    Returns the benchmark name (a picklable acknowledgement for pools).
+    """
+    load_workload(name, n_tasks)
+    return name
+
+
 def load_workload(name: str, n_tasks: int | None = None) -> Workload:
     """Return the named benchmark workload with an ``n_tasks``-long trace.
 
@@ -124,6 +143,51 @@ def _trace_matches_program(
     return bool(np.isin(trace.task_addr, addresses).all())
 
 
+def _try_load_cached(
+    cache_path: Path, compiled: CompiledProgram
+) -> TaskTrace | None:
+    """Load a cached trace, treating any damage as a cache miss.
+
+    A parallel run killed mid-write (before atomic writes existed) or a
+    truncated disk can leave an unreadable ``.npz``; regenerating is
+    always safe, so corruption must never crash an experiment.
+    """
+    if not cache_path.exists():
+        return None
+    try:
+        trace = TaskTrace.load(cache_path)
+    except (OSError, ValueError, EOFError, BadZipFile, TraceError):
+        trace = None
+    if trace is not None and _trace_matches_program(trace, compiled):
+        return trace
+    try:
+        cache_path.unlink()  # corrupt, or stale from an older build
+    except OSError:
+        pass  # another process already replaced or removed it
+    return None
+
+
+def _save_cached(trace: TaskTrace, cache_path: Path) -> None:
+    """Publish a trace to the disk cache atomically.
+
+    The trace is written to a same-directory temp file and moved into
+    place with ``os.replace``, so concurrent workers generating the same
+    workload can never observe a half-written cache entry — the worst
+    case is redundant generation, last writer wins. The temp name keeps
+    the ``.npz`` suffix because ``np.savez`` appends one otherwise.
+    """
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = cache_path.with_name(
+        f".{cache_path.stem}.tmp-{os.getpid()}.npz"
+    )
+    try:
+        trace.save(tmp_path)
+        os.replace(tmp_path, cache_path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+
+
 def _load_or_run(
     profile: BenchmarkProfile, compiled: CompiledProgram, n_tasks: int
 ) -> TaskTrace:
@@ -134,11 +198,9 @@ def _load_or_run(
             f"{profile.name}-{_profile_fingerprint(profile)}"
             f"-s{profile.seed}-n{n_tasks}.npz"
         )
-        if cache_path.exists():
-            trace = TaskTrace.load(cache_path)
-            if _trace_matches_program(trace, compiled):
-                return trace
-            cache_path.unlink()  # stale cache from an older build
+        cached = _try_load_cached(cache_path, compiled)
+        if cached is not None:
+            return cached
     executor = TraceExecutor(
         compiled,
         seed=profile.seed,
@@ -146,8 +208,7 @@ def _load_or_run(
     )
     trace = executor.run(n_tasks)
     if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        trace.save(cache_path)
+        _save_cached(trace, cache_path)
     return trace
 
 

@@ -1,0 +1,87 @@
+"""Parallel experiment engine: determinism, ordering, error reporting."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.evalx.parallel import Cell, execute_cells, resolve_jobs
+from repro.evalx.registry import run_experiment
+
+#: Small traces keep the double (serial + parallel) runs cheap.
+_TASKS = 12_000
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"bad input {x}")
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_jobs(-1)
+
+
+class TestExecuteCells:
+    def _cells(self, values):
+        return [
+            Cell(label=f"c{v}", fn=_square, kwargs={"x": v})
+            for v in values
+        ]
+
+    def test_serial_preserves_cell_order(self):
+        assert execute_cells(self._cells([3, 1, 2])) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        cells = self._cells(range(8))
+        assert execute_cells(cells, jobs=3) == execute_cells(cells)
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_failure_names_the_cell(self, jobs):
+        cells = [
+            Cell(label="good", fn=_square, kwargs={"x": 2}),
+            Cell(label="broken-cell", fn=_boom, kwargs={"x": 7}),
+        ]
+        with pytest.raises(ExperimentError, match="broken-cell") as info:
+            execute_cells(cells, jobs=jobs)
+        # The original exception stays attached for debugging.
+        assert "bad input 7" in str(info.value)
+
+
+class TestJobsBitIdentical:
+    """run_experiment(..., jobs=N) must equal the serial run exactly."""
+
+    def test_figure7_quick(self):
+        serial = run_experiment(
+            "figure7", n_tasks=_TASKS, quick=True,
+            benchmarks=("gcc", "compress"),
+        )
+        fanned = run_experiment(
+            "figure7", n_tasks=_TASKS, quick=True,
+            benchmarks=("gcc", "compress"), jobs=4,
+        )
+        assert fanned.data == serial.data
+        assert fanned.text == serial.text
+
+    def test_table3_quick(self):
+        serial = run_experiment("table3", n_tasks=_TASKS, quick=True)
+        fanned = run_experiment(
+            "table3", n_tasks=_TASKS, quick=True, jobs=4
+        )
+        assert fanned.data == serial.data
+        assert fanned.text == serial.text

@@ -1,0 +1,116 @@
+"""Batched simulation kernels must match the step-by-step loop exactly.
+
+Every predictor that advertises a batched fast path (``batch_plan``,
+``batch_slot_ids``, ``predict_column``) is checked here against the
+generic loop (``vectorize=False``) on real workloads — same misses, same
+states, same storage, bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.ideal import (
+    IdealGlobalPredictor,
+    IdealPathPredictor,
+    IdealPerTaskPredictor,
+)
+from repro.predictors.static_hints import StaticHintExitPredictor
+from repro.predictors.ttb import (
+    IdealCorrelatedTargetBuffer,
+    TaskTargetBuffer,
+)
+from repro.sim.functional import (
+    simulate_exit_prediction,
+    simulate_indirect_target_prediction,
+)
+
+_SCHEMES = (IdealGlobalPredictor, IdealPerTaskPredictor, IdealPathPredictor)
+_DEPTHS = (0, 1, 3, 7)
+
+
+def _assert_exit_stats_equal(workload, make_predictor):
+    looped = simulate_exit_prediction(
+        workload, make_predictor(), vectorize=False
+    )
+    batched = simulate_exit_prediction(
+        workload, make_predictor(), vectorize=True
+    )
+    assert batched.trials == looped.trials
+    assert batched.misses == looped.misses
+    assert batched.multiway_trials == looped.multiway_trials
+    assert batched.multiway_misses == looped.multiway_misses
+    assert batched.states_touched == looped.states_touched
+    assert batched.storage_bits == looped.storage_bits
+
+
+class TestIdealExitKernels:
+    @pytest.mark.parametrize("cls", _SCHEMES)
+    @pytest.mark.parametrize("depth", _DEPTHS)
+    def test_gcc(self, gcc_workload, cls, depth):
+        _assert_exit_stats_equal(gcc_workload, lambda: cls(depth))
+
+    @pytest.mark.parametrize("cls", _SCHEMES)
+    def test_xlisp_deep(self, xlisp_workload, cls):
+        _assert_exit_stats_equal(xlisp_workload, lambda: cls(7))
+
+    @pytest.mark.parametrize("automaton", ["LE", "LEH-1", "LEH-2"])
+    def test_automata_variants(self, gcc_workload, automaton):
+        _assert_exit_stats_equal(
+            gcc_workload,
+            lambda: IdealPathPredictor(3, automaton=automaton),
+        )
+
+    def test_voting_automata_fall_back_to_loop(self, gcc_workload):
+        # VC automata have no batched replay; batch_plan must refuse.
+        predictor = IdealPathPredictor(2, automaton="VC2-MRU")
+        plan = predictor.batch_plan(
+            gcc_workload.trace.task_addr, gcc_workload.trace.exit_index
+        )
+        assert plan is None
+
+    def test_update_on_single_exit_falls_back(self, gcc_workload):
+        predictor = IdealPathPredictor(2, update_on_single_exit=True)
+        plan = predictor.batch_plan(
+            gcc_workload.trace.task_addr, gcc_workload.trace.exit_index
+        )
+        assert plan is None
+
+
+class TestStaticHintColumn:
+    def test_matches_loop(self, gcc_workload):
+        trace = gcc_workload.trace
+        make = lambda: StaticHintExitPredictor.profile_from_trace(trace)
+        _assert_exit_stats_equal(gcc_workload, make)
+
+    def test_empty_hints(self, gcc_workload):
+        _assert_exit_stats_equal(
+            gcc_workload, lambda: StaticHintExitPredictor({})
+        )
+
+
+class TestTargetBufferKernels:
+    @pytest.mark.parametrize("depth", _DEPTHS)
+    def test_ideal_cttb(self, gcc_workload, depth):
+        for make in (lambda: IdealCorrelatedTargetBuffer(depth),):
+            looped = simulate_indirect_target_prediction(
+                gcc_workload, make(), vectorize=False
+            )
+            batched = simulate_indirect_target_prediction(
+                gcc_workload, make(), vectorize=True
+            )
+            assert batched == looped
+
+    @pytest.mark.parametrize("index_bits", [6, 11])
+    def test_plain_ttb(self, xlisp_workload, index_bits):
+        looped = simulate_indirect_target_prediction(
+            xlisp_workload,
+            TaskTargetBuffer(index_bits=index_bits),
+            vectorize=False,
+        )
+        batched = simulate_indirect_target_prediction(
+            xlisp_workload,
+            TaskTargetBuffer(index_bits=index_bits),
+            vectorize=True,
+        )
+        assert batched == looped

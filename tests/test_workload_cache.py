@@ -1,0 +1,76 @@
+"""Disk trace cache: atomic publication and corruption tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth import workloads
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """Point the disk cache at a temp dir, isolating the memory cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    saved_traces = dict(workloads._trace_cache)
+    workloads._trace_cache.clear()
+    yield tmp_path
+    workloads._trace_cache.clear()
+    workloads._trace_cache.update(saved_traces)
+
+
+class TestDiskCache:
+    def test_publishes_one_file_and_no_temp_leftovers(self, cache_dir):
+        workloads.load_workload("compress", n_tasks=1500)
+        assert len(list(cache_dir.glob("*.npz"))) == 1
+        assert not list(cache_dir.glob("*tmp*"))
+
+    def test_cache_round_trip_is_identical(self, cache_dir):
+        first = workloads.load_workload("compress", n_tasks=1500)
+        workloads._trace_cache.clear()  # force the disk path
+        second = workloads.load_workload("compress", n_tasks=1500)
+        assert np.array_equal(
+            first.trace.task_addr, second.trace.task_addr
+        )
+        assert np.array_equal(
+            first.trace.next_addr, second.trace.next_addr
+        )
+
+    def test_corrupt_cache_file_is_regenerated(self, cache_dir):
+        first = workloads.load_workload("compress", n_tasks=1500)
+        (path,) = cache_dir.glob("*.npz")
+        path.write_bytes(b"this is not a zip archive")
+        workloads._trace_cache.clear()
+        second = workloads.load_workload("compress", n_tasks=1500)
+        assert np.array_equal(
+            first.trace.task_addr, second.trace.task_addr
+        )
+        # The corrupt file was replaced with a loadable one.
+        (path,) = cache_dir.glob("*.npz")
+        workloads._trace_cache.clear()
+        third = workloads.load_workload("compress", n_tasks=1500)
+        assert np.array_equal(
+            first.trace.task_addr, third.trace.task_addr
+        )
+
+    def test_truncated_cache_file_is_regenerated(self, cache_dir):
+        workloads.load_workload("compress", n_tasks=1500)
+        (path,) = cache_dir.glob("*.npz")
+        path.write_bytes(path.read_bytes()[: 100])
+        workloads._trace_cache.clear()
+        regenerated = workloads.load_workload("compress", n_tasks=1500)
+        assert len(regenerated.trace) == 1500
+
+    def test_disk_cache_enabled_follows_env(self, cache_dir, monkeypatch):
+        assert workloads.disk_cache_enabled()
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert not workloads.disk_cache_enabled()
+
+    def test_prewarm_populates_disk(self, cache_dir):
+        assert workloads.prewarm_workload("compress", 1500) == "compress"
+        assert len(list(cache_dir.glob("*.npz"))) == 1
+
+    def test_cache_disabled_writes_nothing(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        workloads.load_workload("compress", n_tasks=1500)
+        assert not list(cache_dir.iterdir())
