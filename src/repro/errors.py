@@ -45,3 +45,15 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was invoked with bad arguments."""
+
+
+class CellExecutionError(ExperimentError):
+    """A grid cell failed to execute, after any configured retries.
+
+    Carries ``cell_label`` so harnesses can report *which* cell of a
+    sweep failed (including cells whose worker process died).
+    """
+
+    def __init__(self, message: str, cell_label: str = "?") -> None:
+        super().__init__(message)
+        self.cell_label = cell_label

@@ -11,10 +11,20 @@ text report (the same rows/series the paper presents) and the raw numbers,
 which the test suite asserts shape properties against.
 """
 
+from repro.evalx.metrics import RunMetrics
+from repro.evalx.parallel import CellFailure, RetryPolicy, is_failure
 from repro.evalx.registry import (
     EXPERIMENT_IDS,
     ExperimentResult,
     run_experiment,
 )
 
-__all__ = ["EXPERIMENT_IDS", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentResult",
+    "run_experiment",
+    "RunMetrics",
+    "RetryPolicy",
+    "CellFailure",
+    "is_failure",
+]

@@ -5,6 +5,7 @@ Examples::
     python -m repro.evalx table2
     python -m repro.evalx figure7 --quick
     python -m repro.evalx all --tasks 100000
+    python -m repro.evalx all --jobs 0 --keep-going --metrics run.jsonl
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.evalx.registry import (
     ALL_IDS,
@@ -19,6 +21,44 @@ from repro.evalx.registry import (
     EXTENSION_IDS,
     run_experiment,
 )
+
+#: Upper bound for ``--jobs``: anything beyond this is a typo, not a
+#: machine. Rejected at the argparse layer so the error arrives before
+#: any cells are built.
+MAX_JOBS = 1024
+
+
+def _jobs_arg(text: str) -> int:
+    """Argparse type for ``--jobs``: an int in [0, MAX_JOBS]."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one worker per CPU), got {value}"
+        )
+    if value > MAX_JOBS:
+        raise argparse.ArgumentTypeError(
+            f"--jobs {value} exceeds the sanity cap of {MAX_JOBS} workers"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,11 +86,45 @@ def main(argv: list[str] | None = None) -> int:
         help="small traces and sparse sweeps, for smoke runs",
     )
     parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
         help=(
             "fan independent (benchmark x config) cells over N worker "
             "processes; 0 = one per CPU; default serial. Results are "
             "identical regardless of N"
+        ),
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help=(
+            "don't abort a sweep on a failed cell: record it as a gap, "
+            "finish the rest, and exit nonzero at the end"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts granted to each failing cell (default 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=_positive_float, default=0.25,
+        metavar="SECONDS",
+        help=(
+            "delay before a cell's first retry; doubles per retry "
+            "(default 0.25)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock deadline (pooled runs only); a cell "
+            "over it counts as failed"
+        ),
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help=(
+            "append per-cell/per-experiment JSONL metrics to FILE and "
+            "write a run manifest next to it"
         ),
     )
     parser.add_argument(
@@ -63,31 +137,70 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.evalx.metrics import RunMetrics, write_manifest
+    from repro.evalx.parallel import RetryPolicy
+
     if args.experiment == "all":
         ids = EXPERIMENT_IDS
     elif args.experiment == "extensions":
         ids = EXTENSION_IDS
     else:
         ids = (args.experiment,)
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(
-            experiment_id,
-            n_tasks=args.tasks,
-            quick=args.quick,
-            jobs=args.jobs,
-        )
-        elapsed = time.time() - started
-        print(result)
-        if args.chart:
-            from repro.evalx.charts import charts_for_result
 
-            for chart in charts_for_result(result):
-                print()
-                print(chart)
-        if args.json:
-            _append_json(args.json, result, elapsed)
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+    retry = RetryPolicy(
+        retries=args.retries,
+        backoff_seconds=args.retry_backoff,
+        timeout_seconds=args.cell_timeout,
+    )
+    metrics = RunMetrics(path=args.metrics)
+    if args.metrics:
+        manifest_path = write_manifest(
+            Path(args.metrics).with_suffix(".manifest.json"),
+            experiments=ids,
+            config={
+                "tasks": args.tasks,
+                "quick": args.quick,
+                "jobs": args.jobs,
+                "keep_going": args.keep_going,
+                "retries": args.retries,
+                "retry_backoff": args.retry_backoff,
+                "cell_timeout": args.cell_timeout,
+            },
+        )
+        print(f"[manifest written to {manifest_path}]", file=sys.stderr)
+
+    failed_cells = 0
+    with metrics:
+        for experiment_id in ids:
+            started = time.time()
+            result = run_experiment(
+                experiment_id,
+                n_tasks=args.tasks,
+                quick=args.quick,
+                jobs=args.jobs,
+                keep_going=args.keep_going,
+                retry=retry,
+                metrics=metrics,
+            )
+            elapsed = time.time() - started
+            failed_cells += len(result.failures)
+            print(result)
+            if args.chart:
+                from repro.evalx.charts import charts_for_result
+
+                for chart in charts_for_result(result):
+                    print()
+                    print(chart)
+            if args.json:
+                _append_json(args.json, result, elapsed)
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+    if failed_cells:
+        print(
+            f"warning: {failed_cells} cell(s) failed and were reported "
+            "as gaps (--keep-going)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -15,7 +15,7 @@ from repro.evalx.experiments.common import (
     effective_tasks,
     parse_configs,
 )
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.folding import DolcSpec
@@ -75,6 +75,8 @@ def combine(
     }
     for cell, point in zip(cells, results):
         series = curves[cell.kwargs["name"]]
+        if is_failure(point):  # keep-going gap at this config
+            point = {"ideal": None, "real": None}
         series["ideal"].append(point["ideal"])
         series["real"].append(point["real"])
     sections = []

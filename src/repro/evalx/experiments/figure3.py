@@ -12,7 +12,7 @@ One cell per benchmark; see :mod:`repro.evalx.parallel`.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.isa.controlflow import MAX_EXITS_PER_TASK
@@ -62,7 +62,12 @@ def combine(
         "static": dict.fromkeys(_ARITIES, 0.0),
         "dynamic": dict.fromkeys(_ARITIES, 0.0),
     }
+    n_ok = 0
     for cell, views in zip(cells, results):
+        if is_failure(views):  # keep-going gap
+            rows.append([cell.label, "-"] + ["-"] * len(_ARITIES))
+            continue
+        n_ok += 1
         data[cell.label] = views
         for kind, dist in views.items():
             rows.append(
@@ -72,7 +77,9 @@ def combine(
             for k in _ARITIES:
                 sums[kind][k] += dist[k]
     for kind in ("static", "dynamic"):
-        average = {k: sums[kind][k] / len(BENCHMARKS) for k in _ARITIES}
+        if n_ok == 0:
+            break  # every cell failed; no average to report
+        average = {k: sums[kind][k] / n_ok for k in _ARITIES}
         data.setdefault("average", {})[kind] = average
         rows.append(
             ["average", kind]

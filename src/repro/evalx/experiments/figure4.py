@@ -10,7 +10,7 @@ One cell per benchmark; see :mod:`repro.evalx.parallel`.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.synth.profiles import get_profile
@@ -54,6 +54,9 @@ def combine(
     rows = []
     data: dict[str, dict[str, dict[str, float]]] = {}
     for cell, views in zip(cells, results):
+        if is_failure(views):  # keep-going gap
+            rows.append([cell.label, "-"] + ["-"] * len(EXIT_TYPES))
+            continue
         data[cell.label] = views
         for kind, dist in views.items():
             rows.append(

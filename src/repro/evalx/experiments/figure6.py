@@ -13,7 +13,7 @@ randomised automata stay bit-identical under any worker count.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.automata import AUTOMATON_SPECS, make_automaton_factory
@@ -61,7 +61,11 @@ def combine(
     depths = list(_QUICK_DEPTHS if quick else _DEPTHS)
     series: dict[str, list[float]] = {spec: [] for spec in AUTOMATON_SPECS}
     for cell, miss_rate in zip(cells, results):
-        series[cell.kwargs["spec"]].append(miss_rate)
+        # A keep-going gap renders as "-" at its depth; alignment of the
+        # other depths is preserved by appending a placeholder.
+        series[cell.kwargs["spec"]].append(
+            None if is_failure(miss_rate) else miss_rate
+        )
     text = render_series(
         "depth", depths, series,
         title="gcc miss rate by automaton (ideal path-based history)",

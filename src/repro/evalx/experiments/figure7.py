@@ -11,7 +11,7 @@ One cell per (benchmark, scheme), each sweeping the full depth axis.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.ideal import (
@@ -81,6 +81,8 @@ def combine(
     data: dict[str, dict] = {"depths": depths}
     for cell, curve in zip(cells, results):
         name = cell.kwargs["name"]
+        if is_failure(curve):  # keep-going gap: a "-" column
+            curve = [None] * len(depths)
         data.setdefault(name, {})[cell.kwargs["scheme"]] = curve
     for name in benchmarks:
         series = data[name]

@@ -10,7 +10,7 @@ One cell per (benchmark, depth) plus a plain-TTB cell per benchmark.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.ttb import (
@@ -85,6 +85,8 @@ def combine(
     cttb: dict[str, list[float]] = {name: [] for name in _BENCHMARKS}
     for cell, payload in zip(cells, results):
         name = cell.kwargs["name"]
+        if is_failure(payload):  # keep-going gap
+            payload = None
         if cell.fn is _ttb_cell:
             ttb[name] = payload
         else:
@@ -92,14 +94,16 @@ def combine(
     sections = []
     data: dict[str, dict] = {"depths": depths}
     for name in _BENCHMARKS:
+        ttb_info = ttb.get(name)
+        ttb_rate = ttb_info["miss_rate"] if ttb_info else None
         series = {
             "ideal CTTB": cttb[name],
-            "infinite TTB": [ttb[name]["miss_rate"]] * len(depths),
+            "infinite TTB": [ttb_rate] * len(depths),
         }
         data[name] = {
             "cttb": cttb[name],
-            "ttb": ttb[name]["miss_rate"],
-            "indirect_exits": ttb[name]["trials"],
+            "ttb": ttb_rate,
+            "indirect_exits": ttb_info["trials"] if ttb_info else None,
         }
         sections.append(
             render_series("depth", depths, series, title=name.upper())

@@ -12,7 +12,7 @@ cells/combine execution model.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_table
 from repro.evalx.result import ExperimentResult
 from repro.synth.profiles import get_profile
@@ -57,6 +57,14 @@ def combine(
     for cell, counts in zip(cells, results):
         name = cell.label
         paper = get_profile(name).paper
+        if is_failure(counts):  # keep-going gap: paper columns only
+            rows.append(
+                [name, paper.input_name,
+                 "-", paper.static_tasks,
+                 "-", paper.dynamic_tasks,
+                 "-", paper.distinct_tasks_seen]
+            )
+            continue
         data[name] = counts
         rows.append(
             [

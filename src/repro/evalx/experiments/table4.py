@@ -12,7 +12,7 @@ One cell per (benchmark, scheme); the (dataclass, hence picklable)
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.base import NextTaskPredictor
@@ -126,6 +126,8 @@ def combine(
 ) -> ExperimentResult:
     data: dict[str, dict[str, float]] = {}
     for cell, ipc in zip(cells, results):
+        if is_failure(ipc):  # keep-going gap for this (name, scheme)
+            continue
         data.setdefault(cell.kwargs["name"], {})[
             cell.kwargs["scheme"]
         ] = ipc
@@ -133,7 +135,8 @@ def combine(
     for name in BENCHMARKS:
         row: list[object] = [name]
         for scheme in SCHEMES:
-            row.append(f"{data[name][scheme]:.2f}")
+            ipc = data.get(name, {}).get(scheme)
+            row.append("-" if ipc is None else f"{ipc:.2f}")
             row.append(f"({PAPER_IPC[name][scheme]:.2f})")
         rows.append(row)
     headers = ["Benchmark"]

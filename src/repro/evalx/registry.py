@@ -47,6 +47,9 @@ def run_experiment(
     n_tasks: int | None = None,
     quick: bool = False,
     jobs: int | None = None,
+    keep_going: bool = False,
+    retry=None,
+    metrics=None,
     **kwargs,
 ) -> ExperimentResult:
     """Run the named experiment and return its result.
@@ -55,8 +58,16 @@ def run_experiment(
     and sweep for smoke runs. ``jobs`` fans the experiment's independent
     (benchmark x config) cells over worker processes: ``None`` runs
     serially, ``0`` uses every CPU, and any value produces identical
-    results. Extra keyword arguments pass through to the driver (e.g.
-    ``benchmarks=("gcc",)`` for figure7/figure10).
+    results.
+
+    Fault handling and observability (cell-grid experiments only):
+    ``keep_going`` degrades failed cells to
+    :class:`~repro.evalx.parallel.CellFailure` gaps instead of aborting;
+    ``retry`` is a :class:`~repro.evalx.parallel.RetryPolicy` (attempts,
+    backoff, per-cell timeout); ``metrics`` is a
+    :class:`~repro.evalx.metrics.RunMetrics` recorder. Extra keyword
+    arguments pass through to the driver (e.g. ``benchmarks=("gcc",)``
+    for figure7/figure10).
     """
     if experiment_id not in ALL_IDS:
         raise ExperimentError(
@@ -67,7 +78,14 @@ def run_experiment(
     )
     if hasattr(module, "cells"):
         return run_sharded(
-            module, n_tasks=n_tasks, quick=quick, jobs=jobs, **kwargs
+            module,
+            n_tasks=n_tasks,
+            quick=quick,
+            jobs=jobs,
+            keep_going=keep_going,
+            retry=retry,
+            metrics=metrics,
+            **kwargs,
         )
     # Legacy monolithic drivers (extensions, summary) run serially;
     # summary forwards ``jobs`` to the paper experiments it re-runs.

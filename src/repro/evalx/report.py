@@ -42,6 +42,24 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_failures(failures: Sequence) -> str:
+    """Render the failed-cell appendix of a ``--keep-going`` report.
+
+    ``failures`` holds :class:`~repro.evalx.parallel.CellFailure`
+    records; the corresponding values appear as gaps (``-``) in the
+    tables above this appendix.
+    """
+    rows = [
+        [f.label, f.kind, f.attempts, f"{f.wall_seconds:.1f}s", f.error]
+        for f in failures
+    ]
+    return render_table(
+        ["Failed cell", "Kind", "Attempts", "Wall", "Error"],
+        rows,
+        title=f"FAILED CELLS ({len(rows)}) — shown as gaps above",
+    )
+
+
 def render_series(
     x_label: str,
     x_values: Sequence[object],

@@ -15,12 +15,16 @@ class ExperimentResult:
         text: Rendered report — the same rows/series the paper presents.
         data: Raw numbers keyed by experiment-specific names; the test
             suite asserts shape properties (orderings, crossovers) on these.
+        failures: :class:`~repro.evalx.parallel.CellFailure` records for
+            cells that failed under ``--keep-going``; empty on a clean
+            run. The report text renders these as gaps.
     """
 
     experiment_id: str
     title: str
     text: str
     data: dict = field(default_factory=dict)
+    failures: tuple = ()
 
     def __str__(self) -> str:
         return f"== {self.experiment_id}: {self.title} ==\n{self.text}"

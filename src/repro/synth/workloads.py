@@ -10,6 +10,8 @@ both in memory (per process) and on disk (traces only, under
 from __future__ import annotations
 
 import os
+import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from zipfile import BadZipFile
@@ -56,11 +58,31 @@ class Workload:
 _program_cache: dict[str, CompiledProgram] = {}
 _trace_cache: dict[tuple[str, int], TaskTrace] = {}
 
+#: Monotonically increasing per-process cache accounting. The parallel
+#: scheduler snapshots these around each cell and reports the deltas in
+#: its metrics stream, so a run shows where trace generation actually
+#: happened (parent prewarm vs worker regeneration).
+_cache_stats = {
+    "program_memory_hits": 0,
+    "program_builds": 0,
+    "trace_memory_hits": 0,
+    "trace_disk_hits": 0,
+    "trace_builds": 0,
+}
+
+
+def cache_counters() -> dict[str, int]:
+    """Snapshot of this process's workload-cache hit/miss counters."""
+    return dict(_cache_stats)
+
 
 def build_program(name: str) -> CompiledProgram:
     """Generate and compile the named benchmark's program (memoised)."""
     compiled = _program_cache.get(name)
+    if compiled is not None:
+        _cache_stats["program_memory_hits"] += 1
     if compiled is None:
+        _cache_stats["program_builds"] += 1
         profile = get_profile(name)
         program_cfg = SyntheticProgramGenerator(profile).generate()
         compiled = compile_program(
@@ -91,14 +113,70 @@ def disk_cache_enabled() -> bool:
     return _cache_dir() is not None
 
 
+#: Temp files from a worker killed mid-``trace.save`` look like
+#: ``.{stem}.tmp-{pid}.npz`` (see :func:`_save_cached`).
+_TMP_NAME = re.compile(r"^\..+\.tmp-(\d+)\.npz$")
+
+#: A temp file older than this is orphaned even if its pid was recycled.
+_TMP_MAX_AGE_SECONDS = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but isn't ours
+    return True
+
+
+def sweep_orphan_tmp_files(cache_dir: Path | None = None) -> list[Path]:
+    """Delete stale ``.tmp-<pid>.npz`` leftovers from the trace cache.
+
+    A worker killed between ``trace.save`` and ``os.replace`` leaves its
+    temp file behind forever; without this sweep they accumulate one per
+    crashed pid. A temp file is orphaned when its owning pid is dead, or
+    when it is older than an hour (pid-recycling guard). Files being
+    written right now belong to live pids and are recent, so they are
+    never touched. Returns the paths removed.
+    """
+    if cache_dir is None:
+        cache_dir = _cache_dir()
+    if cache_dir is None or not cache_dir.is_dir():
+        return []
+    removed: list[Path] = []
+    for tmp_path in cache_dir.iterdir():
+        match = _TMP_NAME.match(tmp_path.name)
+        if match is None:
+            continue
+        try:
+            age = time.time() - tmp_path.stat().st_mtime
+        except OSError:
+            continue  # already gone (concurrent sweep)
+        if _pid_alive(int(match.group(1))) and age < _TMP_MAX_AGE_SECONDS:
+            continue
+        try:
+            tmp_path.unlink()
+            removed.append(tmp_path)
+        except OSError:
+            pass
+    return removed
+
+
 def prewarm_workload(name: str, n_tasks: int | None = None) -> str:
     """Generate one workload and publish its trace to the disk cache.
 
     The parallel experiment scheduler runs this once per distinct
     (benchmark, length) before fanning cells out, so worker processes
     find warm cache entries instead of each regenerating the same trace.
+    Also sweeps orphaned temp files left by workers killed mid-write.
     Returns the benchmark name (a picklable acknowledgement for pools).
     """
+    sweep_orphan_tmp_files()
     load_workload(name, n_tasks)
     return name
 
@@ -115,7 +193,9 @@ def load_workload(name: str, n_tasks: int | None = None) -> Workload:
     compiled = build_program(name)
 
     trace = _trace_cache.get((name, n_tasks))
-    if trace is None:
+    if trace is not None:
+        _cache_stats["trace_memory_hits"] += 1
+    else:
         trace = _load_or_run(profile, compiled, n_tasks)
         _trace_cache[(name, n_tasks)] = trace
     return Workload(profile=profile, compiled=compiled, trace=trace)
@@ -200,7 +280,9 @@ def _load_or_run(
         )
         cached = _try_load_cached(cache_path, compiled)
         if cached is not None:
+            _cache_stats["trace_disk_hits"] += 1
             return cached
+    _cache_stats["trace_builds"] += 1
     executor = TraceExecutor(
         compiled,
         seed=profile.seed,

@@ -74,3 +74,81 @@ class TestDiskCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", "off")
         workloads.load_workload("compress", n_tasks=1500)
         assert not list(cache_dir.iterdir())
+
+
+class TestOrphanTempSweep:
+    """Satellite bugfix: stale ``.tmp-<pid>.npz`` files from workers
+    killed mid-write must not accumulate forever."""
+
+    @staticmethod
+    def _dead_pid() -> int:
+        import subprocess
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_pid_tmp_file_is_swept(self, cache_dir):
+        orphan = cache_dir / f".x.tmp-{self._dead_pid()}.npz"
+        orphan.write_bytes(b"partial write")
+        removed = workloads.sweep_orphan_tmp_files(cache_dir)
+        assert orphan in removed
+        assert not orphan.exists()
+
+    def test_live_recent_tmp_file_is_kept(self, cache_dir):
+        import os
+
+        in_flight = cache_dir / f".y.tmp-{os.getpid()}.npz"
+        in_flight.write_bytes(b"being written right now")
+        assert workloads.sweep_orphan_tmp_files(cache_dir) == []
+        assert in_flight.exists()
+
+    def test_old_tmp_file_is_swept_even_with_recycled_pid(self, cache_dir):
+        import os
+        import time
+
+        stale = cache_dir / f".z.tmp-{os.getpid()}.npz"
+        stale.write_bytes(b"hours old")
+        ancient = time.time() - 2 * workloads._TMP_MAX_AGE_SECONDS
+        os.utime(stale, (ancient, ancient))
+        removed = workloads.sweep_orphan_tmp_files(cache_dir)
+        assert stale in removed
+
+    def test_real_cache_entries_are_never_touched(self, cache_dir):
+        workloads.load_workload("compress", n_tasks=1500)
+        (entry,) = cache_dir.glob("*.npz")
+        orphan = cache_dir / f".w.tmp-{self._dead_pid()}.npz"
+        orphan.write_bytes(b"junk")
+        workloads.prewarm_workload("compress", 1500)  # sweeps on entry
+        assert entry.exists()
+        assert not orphan.exists()
+
+
+class TestCacheCounters:
+    """Hit/miss accounting consumed by the run metrics stream."""
+
+    def test_build_then_memory_hit(self, cache_dir):
+        before = workloads.cache_counters()
+        workloads.load_workload("compress", n_tasks=1500)
+        mid = workloads.cache_counters()
+        assert mid["trace_builds"] == before["trace_builds"] + 1
+        workloads.load_workload("compress", n_tasks=1500)
+        after = workloads.cache_counters()
+        assert (
+            after["trace_memory_hits"] == mid["trace_memory_hits"] + 1
+        )
+        assert after["trace_builds"] == mid["trace_builds"]
+
+    def test_disk_hit_counted_after_memory_cache_cleared(self, cache_dir):
+        workloads.load_workload("compress", n_tasks=1500)
+        workloads._trace_cache.clear()
+        before = workloads.cache_counters()
+        workloads.load_workload("compress", n_tasks=1500)
+        after = workloads.cache_counters()
+        assert after["trace_disk_hits"] == before["trace_disk_hits"] + 1
+        assert after["trace_builds"] == before["trace_builds"]
+
+    def test_counters_snapshot_is_a_copy(self, cache_dir):
+        snapshot = workloads.cache_counters()
+        snapshot["trace_builds"] += 100
+        assert workloads.cache_counters() != snapshot
