@@ -1,0 +1,17 @@
+"""Rule families for the repro static-analysis pass.
+
+Importing this package registers every rule with the framework's
+registry (see :func:`repro.analysis.core.register_rule`):
+
+* :mod:`repro.analysis.rules.determinism` — ``DET001..DET004``
+* :mod:`repro.analysis.rules.purity` — ``PUR001..PUR002``
+* :mod:`repro.analysis.rules.protocol` — ``PROT001..PROT003``
+* :mod:`repro.analysis.rules.bitwidth` — ``NPW001..NPW003``
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (register on import)
+    bitwidth,
+    determinism,
+    protocol,
+    purity,
+)

@@ -1,0 +1,303 @@
+"""NPW rules: numpy bit-width lint for shift/pack/accumulate kernels.
+
+The vectorized kernels pack multi-field history keys into integer words
+(:mod:`repro.utils.windows`). numpy integer arithmetic wraps silently on
+overflow — there is no Python-int promotion — so three idioms deserve a
+machine check:
+
+* shifting a narrow (< 64-bit) integer array (NPW001): the shifted bits
+  fall off the end without a word-width guard ever firing;
+* integer/bool reductions without an explicit ``dtype`` (NPW002):
+  ``sum``/``cumsum`` accumulate in a platform-dependent width (C long —
+  32-bit on Windows), so a kernel can be correct on Linux and wrong on
+  another platform;
+* variable-amount shifts with no word-width guard in sight (NPW003):
+  ``word << bits`` is only safe when something bounds the accumulated
+  bit count below the dtype width.
+
+Inference is function-local: a name counts as a numpy array of dtype D
+when it is assigned from an array constructor with ``dtype=D`` or an
+``.astype(D)`` in the same scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register_rule,
+)
+from repro.analysis.rules._shared import (
+    ImportMap,
+    call_dtype_name,
+    dotted_call_name,
+    dtype_of_astype,
+    resolve_dotted,
+    walk_scopes,
+)
+
+_NARROW_INT = frozenset(
+    {"int8", "int16", "int32", "uint8", "uint16", "uint32"}
+)
+_WIDE_INT = frozenset({"int64", "uint64", "int_", "intp", "longlong"})
+_BOOL = frozenset({"bool", "bool_"})
+
+#: numpy constructors that produce arrays and accept dtype=.
+_ARRAY_CTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "array", "asarray", "arange",
+     "fromiter", "zeros_like", "ones_like", "empty_like", "full_like",
+     "frombuffer", "fromfile"}
+)
+
+#: Array methods that preserve the receiver's dtype.
+_DTYPE_PRESERVING = frozenset({"copy", "reshape", "ravel", "flatten", "T"})
+
+#: Word-width constants whose presence in a comparison counts as a guard.
+_GUARD_CONSTANTS = frozenset({31, 32, 62, 63, 64})
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    stack = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+class _DtypeScope:
+    """Function-local numpy dtype inference."""
+
+    def __init__(self, scope: ast.AST, imports: ImportMap) -> None:
+        self.imports = imports
+        self.names: dict[str, str] = {}
+        # Two passes so chains like a = np.zeros(...); b = a.copy() work
+        # regardless of statement order quirks in the walk.
+        for _ in range(2):
+            for node in _scope_nodes(scope):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        dtype = self.dtype_of(node.value)
+                        if dtype is not None:
+                            self.names[target.id] = dtype
+
+    def dtype_of(self, node: ast.expr) -> str | None:
+        """Inferred numpy dtype of an expression, or None if unknown."""
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id)
+        if isinstance(node, ast.Call):
+            astype = dtype_of_astype(node)
+            if astype is not None:
+                return astype
+            dotted = dotted_call_name(node.func)
+            if dotted is not None:
+                resolved = resolve_dotted(dotted, self.imports)
+                if (
+                    resolved.startswith("numpy.")
+                    and resolved.split(".")[-1] in _ARRAY_CTORS
+                ):
+                    return call_dtype_name(node) or "unknown-numpy"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DTYPE_PRESERVING
+            ):
+                return self.dtype_of(node.func.value)
+        if isinstance(node, ast.BinOp):
+            # Arithmetic keeps the wider operand's dtype; good enough to
+            # propagate "this is still a numpy array of width W".
+            left = self.dtype_of(node.left)
+            right = self.dtype_of(node.right)
+            return left or right
+        if isinstance(node, ast.Subscript):
+            return self.dtype_of(node.value)
+        return None
+
+
+def _has_width_guard(scope: ast.AST) -> bool:
+    """Whether any comparison in the scope mentions a word-width constant."""
+    for node in _scope_nodes(scope):
+        if isinstance(node, ast.Compare):
+            for comparator in (node.left, *node.comparators):
+                for sub in ast.walk(comparator):
+                    if isinstance(sub, ast.Constant) and (
+                        sub.value in _GUARD_CONSTANTS
+                    ):
+                        return True
+    return False
+
+
+class _BitwidthRule(Rule):
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        imports = ImportMap.of(module.tree)
+        for qualname, scope, _body in walk_scopes(module.tree):
+            dtypes = _DtypeScope(scope, imports)
+            yield from self.check_scope(
+                module, qualname, scope, dtypes, imports
+            )
+
+    def check_scope(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        scope: ast.AST,
+        dtypes: _DtypeScope,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register_rule
+class NarrowShift(_BitwidthRule):
+    id = "NPW001"
+    title = "left-shift on a narrow numpy integer array"
+    rationale = (
+        "numpy integers wrap silently: shifting an int32/uint16 array "
+        "drops high bits with no error, corrupting packed history keys. "
+        "Widen to int64 before packing."
+    )
+
+    def check_scope(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        scope: ast.AST,
+        dtypes: _DtypeScope,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.LShift
+            ):
+                dtype = dtypes.dtype_of(node.left)
+                if dtype in _NARROW_INT:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"left-shift on a {dtype} array wraps "
+                            "silently past the dtype width; cast to "
+                            "int64 before packing bits"
+                        ),
+                        symbol=qualname,
+                    )
+
+
+@register_rule
+class PlatformWidthReduction(_BitwidthRule):
+    id = "NPW002"
+    title = "integer reduction without an explicit dtype"
+    rationale = (
+        "sum/cumsum on integer or bool arrays accumulate in a platform-"
+        "dependent width (C long: 32-bit on Windows), so long traces "
+        "overflow on some platforms only. Pass dtype=np.int64."
+    )
+
+    #: Reductions whose accumulator width is platform-dependent.
+    _REDUCTIONS = frozenset({"sum", "cumsum", "prod", "cumprod"})
+
+    def check_scope(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        scope: ast.AST,
+        dtypes: _DtypeScope,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        for node in _scope_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_dtype_name(node) is not None:
+                continue
+            operand: ast.expr | None = None
+            reduction: str | None = None
+            dotted = dotted_call_name(node.func)
+            if dotted is not None:
+                resolved = resolve_dotted(dotted, imports)
+                if (
+                    resolved.startswith("numpy.")
+                    and resolved.split(".")[-1] in self._REDUCTIONS
+                    and node.args
+                ):
+                    operand = node.args[0]
+                    reduction = resolved.split(".")[-1]
+            if (
+                operand is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._REDUCTIONS
+            ):
+                operand = node.func.value
+                reduction = node.func.attr
+            if operand is None:
+                continue
+            dtype = dtypes.dtype_of(operand)
+            if dtype in _NARROW_INT or dtype in _BOOL:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{reduction}() on a {dtype} array accumulates "
+                        "in platform-dependent width; pass "
+                        "dtype=np.int64 for a stable accumulator"
+                    ),
+                    symbol=qualname,
+                )
+
+
+@register_rule
+class UnguardedVariableShift(_BitwidthRule):
+    id = "NPW003"
+    title = "variable-amount shift with no word-width guard"
+    rationale = (
+        "A data-dependent shift amount on a packed word is only correct "
+        "while the accumulated bit count stays below the dtype width; "
+        "without a guard comparing against the word budget (e.g. > 62), "
+        "a wider input silently corrupts every key."
+    )
+
+    def check_scope(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        scope: ast.AST,
+        dtypes: _DtypeScope,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        if _has_width_guard(scope):
+            return
+        for node in _scope_nodes(scope):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.LShift)
+                and not isinstance(node.right, ast.Constant)
+            ):
+                dtype = dtypes.dtype_of(node.left)
+                if dtype is not None:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "variable shift amount on a numpy word "
+                            "with no width guard in this function; "
+                            "bound the accumulated bits (e.g. "
+                            "used + bits > 62 -> new word)"
+                        ),
+                        symbol=qualname,
+                    )

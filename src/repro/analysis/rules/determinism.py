@@ -1,0 +1,296 @@
+"""DET rules: determinism lint for simulation code.
+
+Serial/parallel bit-identity (the engine's headline guarantee) requires
+every cell computation to be a pure function of its arguments. Anything
+that reads ambient nondeterminism — global RNG state, wall clocks, or
+hash-order iteration — can silently break that, and only shows up as a
+flaky one-bit diff under ``--jobs N``. These rules flag the sources at
+their call sites, inside the packages that run (or feed) simulations:
+``sim``, ``predictors``, ``synth``, and ``evalx.experiments``.
+
+Seeded randomness goes through :class:`repro.utils.rng.SeededRng`;
+iteration over sets must be wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register_rule,
+)
+from repro.analysis.rules._shared import (
+    ImportMap,
+    dotted_call_name,
+    enclosing_qualnames,
+    resolve_dotted,
+    walk_scopes,
+)
+
+#: Sub-packages whose code runs inside (or generates inputs for) cells.
+SIMULATION_SCOPE = ("sim", "predictors", "synth", "evalx.experiments")
+
+#: ``random`` module functions that read/write the hidden global state.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "seed", "getrandbits", "gauss", "normalvariate",
+        "expovariate", "betavariate", "triangular", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "lognormvariate", "randbytes",
+    }
+)
+
+#: ``numpy.random`` names that do *not* touch the legacy global state.
+_NP_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+     "MT19937", "SFC64", "BitGenerator"}
+)
+
+#: Wall-clock reads, fully resolved through imports.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+
+def _resolved_calls(
+    module: ModuleInfo,
+) -> Iterator[tuple[ast.Call, str]]:
+    """Every call in the module with its import-resolved dotted name."""
+    imports = ImportMap.of(module.tree)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            dotted = dotted_call_name(node.func)
+            if dotted is not None:
+                yield node, resolve_dotted(dotted, imports)
+
+
+class _SimulationRule(Rule):
+    scope = SIMULATION_SCOPE
+
+
+@register_rule
+class UnseededStdlibRandom(_SimulationRule):
+    id = "DET001"
+    title = "unseeded stdlib random call"
+    rationale = (
+        "Module-level random.* functions draw from hidden global state, "
+        "so results depend on import order and whatever ran before; use "
+        "repro.utils.rng.SeededRng seeded from the workload profile."
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        qualnames = enclosing_qualnames(module.tree)
+        for call, dotted in _resolved_calls(module):
+            head, _, func = dotted.rpartition(".")
+            if head == "random" and func in _GLOBAL_RANDOM_FUNCS:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"random.{func}() uses the global RNG; inject a "
+                        "repro.utils.rng.SeededRng instead"
+                    ),
+                    symbol=qualnames.get(id(call), "<module>"),
+                )
+
+
+@register_rule
+class LegacyNumpyRandom(_SimulationRule):
+    id = "DET002"
+    title = "legacy numpy global-state RNG call"
+    rationale = (
+        "np.random.* legacy functions share one global BitGenerator "
+        "across the process; worker pools and import order change the "
+        "draw sequence. Use np.random.default_rng(seed) locally."
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        qualnames = enclosing_qualnames(module.tree)
+        for call, dotted in _resolved_calls(module):
+            if not dotted.startswith("numpy.random."):
+                continue
+            func = dotted.split(".", 2)[2]
+            if func.split(".")[0] in _NP_RANDOM_OK:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=module.relpath,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"np.random.{func}() mutates the legacy global RNG; "
+                    "use np.random.default_rng(seed) scoped to the caller"
+                ),
+                symbol=qualnames.get(id(call), "<module>"),
+            )
+
+
+@register_rule
+class WallClockInSimulation(_SimulationRule):
+    id = "DET003"
+    title = "wall-clock read in simulation code"
+    rationale = (
+        "Clock reads inside simulation/generation code leak real time "
+        "into results or cache decisions, so two identical runs can "
+        "diverge; measure time only in the harness (evalx.metrics)."
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        qualnames = enclosing_qualnames(module.tree)
+        for call, dotted in _resolved_calls(module):
+            if dotted in _WALL_CLOCK:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{dotted}() reads the wall clock inside "
+                        "simulation code; results must not depend on "
+                        "real time"
+                    ),
+                    symbol=qualnames.get(id(call), "<module>"),
+                )
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether an expression statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        dotted = dotted_call_name(node.func)
+        if dotted in ("set", "frozenset"):
+            return True
+        # s.union(...) etc. on a known set stays a set.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr
+            in ("union", "intersection", "difference",
+                "symmetric_difference", "copy")
+            and _is_set_expr(node.func.value, set_names)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+#: Builtins whose output order mirrors their input's iteration order.
+_ORDER_LEAKING_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+@register_rule
+class SetIterationOrder(_SimulationRule):
+    id = "DET004"
+    title = "iteration over an unordered set"
+    rationale = (
+        "Set iteration order follows hash seeding and insertion history; "
+        "anything derived from it (trace contents, sweep order feeding "
+        "stateful predictors) varies between runs. Iterate sorted(s)."
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for qualname, scope, _body in walk_scopes(module.tree):
+            set_names = self._set_locals(scope)
+            for node in self._scope_nodes(scope):
+                yield from self._check_node(
+                    node, set_names, module, qualname
+                )
+
+    @staticmethod
+    def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes belonging to this scope (stop at nested defs)."""
+        stack = [scope]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ) and child is not node:
+                    continue
+                stack.append(child)
+
+    def _set_locals(self, scope: ast.AST) -> set[str]:
+        """Names whose every assignment in this scope is a set expression."""
+        assigned: dict[str, list[ast.expr]] = {}
+        for node in self._scope_nodes(scope):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    assigned.setdefault(target.id, []).append(value)
+        names: set[str] = set()
+        # Fixed point: s = set(); s = s | other …
+        for _ in range(2):
+            names = {
+                name
+                for name, values in assigned.items()
+                if all(_is_set_expr(v, names) for v in values)
+            }
+        return names
+
+    def _check_node(
+        self,
+        node: ast.AST,
+        set_names: set[str],
+        module: ModuleInfo,
+        qualname: str,
+    ) -> Iterator[Finding]:
+        suspects: list[tuple[ast.expr, str]] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            suspects.append((node.iter, "for-loop over"))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                suspects.append((gen.iter, "comprehension over"))
+        elif isinstance(node, ast.Call):
+            dotted = dotted_call_name(node.func)
+            if dotted in _ORDER_LEAKING_CALLS and node.args:
+                suspects.append((node.args[0], f"{dotted}() over"))
+        for expr, context in suspects:
+            if _is_set_expr(expr, set_names):
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=expr.lineno,
+                    col=expr.col_offset,
+                    message=(
+                        f"{context} a set: iteration order is "
+                        "nondeterministic; use sorted(...) to fix the "
+                        "order"
+                    ),
+                    symbol=qualname,
+                )

@@ -1,0 +1,215 @@
+"""PROT rules: driver-protocol conformance for experiment modules.
+
+Every module under an ``experiments`` package is an experiment driver
+and must speak the engine's protocol (:mod:`repro.evalx.parallel`):
+
+* be registered in the sibling ``registry`` module's ``*_IDS`` tuples,
+  so the CLI can reach it (PROT001);
+* expose the ``cells(...)``/``combine(...)`` pair, so the scheduler can
+  fan it out and ``--jobs`` applies (PROT002);
+* have a ``combine`` that tolerates :class:`CellFailure` gap payloads,
+  so ``--keep-going`` degrades gracefully instead of crashing during
+  result assembly (PROT003).
+
+Shared helpers (``common``) and ``__init__`` are exempt; a deliberately
+monolithic driver (e.g. a scoreboard that re-runs other experiments)
+belongs in the baseline with its reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register_rule,
+)
+
+#: Modules under experiments/ that are not drivers.
+_EXEMPT_STEMS = frozenset({"__init__", "common"})
+
+
+def _driver_modules(project: Project) -> Iterator[ModuleInfo]:
+    for module in project.modules:
+        segments = module.segments()
+        if len(segments) >= 2 and segments[-2] == "experiments":
+            stem = segments[-1]
+            if stem not in _EXEMPT_STEMS and not stem.startswith("_"):
+                yield module
+
+
+def _registered_ids(module: ModuleInfo, project: Project) -> set[str] | None:
+    """Ids listed in the sibling registry's ``*_IDS`` assignments.
+
+    Returns None when no registry module is visible (partial scans,
+    fixtures without one) — PROT001 then stays silent rather than
+    flagging everything.
+    """
+    registry_dotted = ".".join(module.segments()[:-2] + ("registry",))
+    registry = project.module(registry_dotted)
+    if registry is None:
+        return None
+    ids: set[str] = set()
+    found = False
+    for stmt in registry.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        names = [
+            t.id for t in stmt.targets if isinstance(t, ast.Name)
+        ]
+        if not any(name.endswith("_IDS") for name in names):
+            continue
+        found = True
+        for node in ast.walk(stmt.value):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                ids.add(node.value)
+    return ids if found else None
+
+
+def _module_functions(module: ModuleInfo) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in module.tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _handles_cell_failure(
+    combine: ast.FunctionDef, functions: dict[str, ast.FunctionDef]
+) -> bool:
+    """Whether combine (or local helpers it calls) checks for gaps.
+
+    Accepts any reference to ``is_failure`` or ``CellFailure`` in the
+    transitive closure of same-module calls starting at ``combine``.
+    """
+    seen: set[str] = set()
+    queue = [combine]
+    while queue:
+        fn = queue.pop(0)
+        if fn.name in seen:
+            continue
+        seen.add(fn.name)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and node.id in (
+                "is_failure", "CellFailure"
+            ):
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in (
+                "is_failure", "CellFailure"
+            ):
+                return True
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                callee = functions.get(node.func.id)
+                if callee is not None:
+                    queue.append(callee)
+    return False
+
+
+class _DriverRule(Rule):
+    scope = ("experiments",)
+
+
+@register_rule
+class UnregisteredDriver(_DriverRule):
+    id = "PROT001"
+    title = "experiment driver missing from the registry"
+    rationale = (
+        "A driver module the registry doesn't list can't be run from the "
+        "CLI, silently drops out of 'all'/'extensions' sweeps, and its "
+        "shape tests go stale. Add its id to EXPERIMENT_IDS or "
+        "EXTENSION_IDS."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in _driver_modules(project):
+            ids = _registered_ids(module, project)
+            if ids is None:
+                continue
+            stem = module.segments()[-1]
+            if stem not in ids:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"driver {stem!r} is not listed in the "
+                        "registry's *_IDS tuples; it is unreachable "
+                        "from the CLI"
+                    ),
+                    symbol=stem,
+                )
+
+
+@register_rule
+class MissingCellsCombine(_DriverRule):
+    id = "PROT002"
+    title = "driver lacks the cells/combine protocol"
+    rationale = (
+        "Monolithic run() drivers execute serially only: --jobs, "
+        "--keep-going, retries, per-cell timeouts and metrics all pass "
+        "them by. Split the grid into cells() and assemble in combine()."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in _driver_modules(project):
+            functions = _module_functions(module)
+            missing = [
+                name for name in ("cells", "combine")
+                if name not in functions
+            ]
+            if missing:
+                stem = module.segments()[-1]
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"driver {stem!r} does not define "
+                        f"{' or '.join(missing)}; the parallel engine "
+                        "cannot schedule it"
+                    ),
+                    symbol=stem,
+                )
+
+
+@register_rule
+class CombineIgnoresFailures(_DriverRule):
+    id = "PROT003"
+    title = "combine() does not handle CellFailure gaps"
+    rationale = (
+        "Under --keep-going a failed cell's result slot holds a "
+        "CellFailure; a combine that indexes into it crashes during "
+        "assembly, losing every *successful* cell's work. combine must "
+        "check is_failure() and render gaps."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in _driver_modules(project):
+            functions = _module_functions(module)
+            combine = functions.get("combine")
+            if combine is None:
+                continue  # PROT002's finding already covers this driver
+            if not _handles_cell_failure(combine, functions):
+                stem = module.segments()[-1]
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=combine.lineno,
+                    col=combine.col_offset,
+                    message=(
+                        f"{stem}.combine() never checks is_failure/"
+                        "CellFailure; a --keep-going gap payload would "
+                        "crash result assembly"
+                    ),
+                    symbol=f"{stem}.combine",
+                )

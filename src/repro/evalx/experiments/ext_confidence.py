@@ -10,6 +10,7 @@ sequencer would use to stop speculating deeper).
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.confidence import (
@@ -25,31 +26,55 @@ _SPEC = "6-5-8-9(3)"
 _THRESHOLD = 4
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Measure coverage / high-confidence accuracy / PVN per benchmark."""
+def _cell(name: str, tasks: int) -> dict[str, float]:
+    """Coverage / high-confidence accuracy / PVN for one benchmark."""
     spec = DolcSpec.parse(_SPEC)
+    workload = load_workload(name, n_tasks=tasks)
+    stats = simulate_confidence(
+        workload,
+        PathExitPredictor(spec),
+        ResettingConfidenceEstimator(spec, threshold=_THRESHOLD),
+    )
+    return {
+        "coverage": stats.coverage,
+        "high_accuracy": stats.high_confidence_accuracy,
+        "pvn": stats.pvn,
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=name,
+            fn=_cell,
+            kwargs={"name": name, "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in BENCHMARKS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[str, float]] = {}
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        stats = simulate_confidence(
-            workload,
-            PathExitPredictor(spec),
-            ResettingConfidenceEstimator(spec, threshold=_THRESHOLD),
-        )
-        data[name] = {
-            "coverage": stats.coverage,
-            "high_accuracy": stats.high_confidence_accuracy,
-            "pvn": stats.pvn,
-        }
+    for cell, point in zip(cells, results):
+        name = cell.label
+        if is_failure(point):  # keep-going gap: a "-" row
+            rows.append([name, "-", "-", "-"])
+            continue
+        data[name] = point
         rows.append(
             [
                 name,
-                format_percent(stats.coverage, 1),
-                format_percent(stats.high_confidence_accuracy, 1),
-                format_percent(stats.pvn, 1),
+                format_percent(point["coverage"], 1),
+                format_percent(point["high_accuracy"], 1),
+                format_percent(point["pvn"], 1),
             ]
         )
     text = render_table(

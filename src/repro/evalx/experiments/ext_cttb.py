@@ -9,6 +9,7 @@ indirect-heavy benchmarks, locating the capacity knee.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.folding import DolcSpec
@@ -33,34 +34,63 @@ _CONFIGS_BY_BITS = {
 }
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Sweep CTTB size; report indirect-target miss rate per width."""
-    widths = (
-        tuple(sorted(_CONFIGS_BY_BITS))[::2] if quick
-        else tuple(sorted(_CONFIGS_BY_BITS))
-    )
-    series: dict[str, list[float]] = {}
+def _widths(quick: bool) -> tuple[int, ...]:
+    if quick:
+        return tuple(sorted(_CONFIGS_BY_BITS))[::2]
+    return tuple(sorted(_CONFIGS_BY_BITS))
+
+
+def _cell(name: str, tasks: int, widths: tuple[int, ...]) -> dict:
+    """Sweep one benchmark over the CTTB widths; also report storage."""
+    workload = load_workload(name, n_tasks=tasks)
+    rates = []
     kbytes = []
-    for name in _BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    for width in widths:
+        spec = DolcSpec.parse(_CONFIGS_BY_BITS[width])
+        assert spec.index_bits == width
+        buffer = CorrelatedTaskTargetBuffer(spec)
+        stats = simulate_indirect_target_prediction(workload, buffer)
+        rates.append(stats.miss_rate)
+        kbytes.append(stats.storage_bits / 8 / 1024)
+    return {"rates": rates, "kbytes": kbytes}
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    widths = _widths(quick)
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=name,
+            fn=_cell,
+            kwargs={"name": name, "tasks": tasks, "widths": widths},
+            workload=(name, tasks),
         )
-        rates = []
-        for width in widths:
-            spec = DolcSpec.parse(_CONFIGS_BY_BITS[width])
-            assert spec.index_bits == width
-            buffer = CorrelatedTaskTargetBuffer(spec)
-            stats = simulate_indirect_target_prediction(workload, buffer)
-            rates.append(stats.miss_rate)
-            if name == _BENCHMARKS[0]:
-                kbytes.append(stats.storage_bits / 8 / 1024)
-        series[name] = rates
+        for name in _BENCHMARKS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    widths = _widths(quick)
+    series: dict[str, list[float | None]] = {}
+    kbytes: list[float] = []
+    for cell, point in zip(cells, results):
+        if is_failure(point):  # keep-going gap for this benchmark
+            series[cell.label] = [None] * len(widths)
+            continue
+        series[cell.label] = point["rates"]
+        if not kbytes:  # storage depends only on the spec, not the trace
+            kbytes = point["kbytes"]
+    size_note = (
+        f" ({kbytes[0]:.1f}KB .. {kbytes[-1]:.1f}KB)" if kbytes else ""
+    )
     text = render_series(
         "index bits", list(widths), series,
-        title=(
-            "indirect-target miss vs CTTB size "
-            f"({kbytes[0]:.1f}KB .. {kbytes[-1]:.1f}KB)"
-        ),
+        title="indirect-target miss vs CTTB size" + size_note,
     )
     return ExperimentResult(
         experiment_id="ext_cttb",

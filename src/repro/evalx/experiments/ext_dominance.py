@@ -12,6 +12,7 @@ within 5%." This experiment reruns exactly that comparison.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import PathExitPredictor
@@ -28,28 +29,52 @@ _SPEC = "7-4-9-9(3)"
 _DEPTH = 7
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Real depth-7 PATH (8KB) against ideal depth-7 GLOBAL and PER."""
+def _cell(name: str, tasks: int) -> dict[str, float]:
+    """Real PATH vs ideal GLOBAL/PER miss rates for one benchmark."""
+    workload = load_workload(name, n_tasks=tasks)
+    return {
+        "real_path": simulate_exit_prediction(
+            workload, PathExitPredictor(DolcSpec.parse(_SPEC))
+        ).miss_rate,
+        "ideal_global": simulate_exit_prediction(
+            workload, IdealGlobalPredictor(_DEPTH)
+        ).miss_rate,
+        "ideal_per": simulate_exit_prediction(
+            workload, IdealPerTaskPredictor(_DEPTH)
+        ).miss_rate,
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=name,
+            fn=_cell,
+            kwargs={"name": name, "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in BENCHMARKS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[str, float]] = {}
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        real_path = simulate_exit_prediction(
-            workload, PathExitPredictor(DolcSpec.parse(_SPEC))
-        ).miss_rate
-        ideal_global = simulate_exit_prediction(
-            workload, IdealGlobalPredictor(_DEPTH)
-        ).miss_rate
-        ideal_per = simulate_exit_prediction(
-            workload, IdealPerTaskPredictor(_DEPTH)
-        ).miss_rate
-        data[name] = {
-            "real_path": real_path,
-            "ideal_global": ideal_global,
-            "ideal_per": ideal_per,
-        }
+    for cell, point in zip(cells, results):
+        name = cell.label
+        if is_failure(point):  # keep-going gap: a "-" row
+            rows.append([name, "-", "-", "-", "-", "-"])
+            continue
+        real_path = point["real_path"]
+        ideal_global = point["ideal_global"]
+        ideal_per = point["ideal_per"]
+        data[name] = point
         rows.append(
             [
                 name,

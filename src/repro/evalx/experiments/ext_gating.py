@@ -18,6 +18,7 @@ trade-off (Grunwald et al. style) reproduced at task granularity.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.confidence import ResettingConfidenceEstimator
@@ -45,39 +46,73 @@ def _predictor(workload):
     )
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """IPC with and without confidence gating, per threshold."""
+def _cell(
+    name: str, penalty: int, tasks: int, thresholds: tuple[int, ...]
+) -> dict[str, float]:
+    """Ungated and per-threshold gated IPC for one (benchmark, penalty)."""
+    config = TimingConfig(task_mispredict_penalty=penalty)
+    workload = load_workload(name, n_tasks=tasks)
+    ungated = simulate_timing(
+        workload, _predictor(workload), config=config
+    )
+    point = {"ungated": ungated.ipc}
+    for threshold in thresholds:
+        gated = simulate_timing(
+            workload,
+            _predictor(workload),
+            config=config,
+            confidence_gate=ResettingConfidenceEstimator(
+                DolcSpec.parse(_SPEC), threshold=threshold
+            ),
+        )
+        point[f"gated_t{threshold}"] = gated.ipc
+    return point
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
     thresholds = _THRESHOLDS[1:2] if quick else _THRESHOLDS
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=f"{name}:p{penalty}",
+            fn=_cell,
+            kwargs={
+                "name": name,
+                "penalty": penalty,
+                "tasks": tasks,
+                "thresholds": thresholds,
+            },
+            workload=(name, tasks),
+        )
+        for penalty in _PENALTIES
+        for name in BENCHMARKS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    thresholds = _THRESHOLDS[1:2] if quick else _THRESHOLDS
+    points = dict(zip((c.label for c in cells), results))
     sections = []
     data: dict[str, dict[str, dict[str, float]]] = {}
     for penalty in _PENALTIES:
-        config = TimingConfig(task_mispredict_penalty=penalty)
         rows = []
         for name in BENCHMARKS:
-            workload = load_workload(
-                name,
-                n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS),
-            )
-            ungated = simulate_timing(
-                workload, _predictor(workload), config=config
-            )
-            row: list[object] = [name, f"{ungated.ipc:.2f}"]
-            per_bench = data.setdefault(name, {})
-            per_penalty = per_bench.setdefault(
-                f"penalty{penalty}", {"ungated": ungated.ipc}
-            )
-            for threshold in thresholds:
-                gated = simulate_timing(
-                    workload,
-                    _predictor(workload),
-                    config=config,
-                    confidence_gate=ResettingConfidenceEstimator(
-                        DolcSpec.parse(_SPEC), threshold=threshold
-                    ),
+            point = points[f"{name}:p{penalty}"]
+            if is_failure(point):  # keep-going gap: a "-" row
+                rows.append(
+                    [name, "-"] + ["-"] * len(thresholds)
                 )
-                row.append(f"{gated.ipc:.2f}")
-                per_penalty[f"gated_t{threshold}"] = gated.ipc
-            rows.append(row)
+                continue
+            data.setdefault(name, {})[f"penalty{penalty}"] = point
+            rows.append(
+                [name, f"{point['ungated']:.2f}"]
+                + [f"{point[f'gated_t{t}']:.2f}" for t in thresholds]
+            )
         headers = ["Benchmark", "ungated"] + [
             f"gated t={t}" for t in thresholds
         ]

@@ -10,6 +10,7 @@ equal history depth.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import (
@@ -25,6 +26,8 @@ _DEFAULT_TASKS = 200_000
 _PATH_SPEC = "6-5-8-9(3)"
 _PER_DEPTH = 6
 
+_SCHEMES = ("PATH", "PER", "tournament")
+
 
 def _components():
     path = PathExitPredictor(DolcSpec.parse(_PATH_SPEC))
@@ -32,27 +35,43 @@ def _components():
     return path, per
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Measure PATH, PER, and their tournament on every benchmark."""
-    series: dict[str, list[float]] = {
-        "PATH": [], "PER": [], "tournament": [],
-    }
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+def _cell(name: str, scheme: str, tasks: int) -> float:
+    """Miss rate of one scheme (component or tournament) on one
+    benchmark; predictors are built fresh so every cell starts cold."""
+    workload = load_workload(name, n_tasks=tasks)
+    path, per = _components()
+    predictor = {
+        "PATH": path,
+        "PER": per,
+        "tournament": TournamentExitPredictor(path, per),
+    }[scheme]
+    return simulate_exit_prediction(workload, predictor).miss_rate
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=f"{name}:{scheme}",
+            fn=_cell,
+            kwargs={"name": name, "scheme": scheme, "tasks": tasks},
+            workload=(name, tasks),
         )
-        path, per = _components()
-        series["PATH"].append(
-            simulate_exit_prediction(workload, path).miss_rate
-        )
-        path, per = _components()
-        series["PER"].append(
-            simulate_exit_prediction(workload, per).miss_rate
-        )
-        path, per = _components()
-        hybrid = TournamentExitPredictor(path, per)
-        series["tournament"].append(
-            simulate_exit_prediction(workload, hybrid).miss_rate
+        for name in BENCHMARKS
+        for scheme in _SCHEMES
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[float],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    series: dict[str, list[float | None]] = {s: [] for s in _SCHEMES}
+    for cell, miss in zip(cells, results):
+        series[cell.kwargs["scheme"]].append(
+            None if is_failure(miss) else miss
         )
     text = render_series(
         "benchmark", list(BENCHMARKS), series,

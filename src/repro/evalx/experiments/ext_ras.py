@@ -13,6 +13,7 @@ from repro.evalx.experiments.common import (
     SMALL_CTTB_SPEC,
     effective_tasks,
 )
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import PathExitPredictor
@@ -29,33 +30,57 @@ _QUICK_DEPTHS = (1, 4, 16, 64)
 _EXIT_SPEC = "6-5-8-9(3)"
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Sweep RAS depth; report per-benchmark return-address miss rates."""
-    depths = _QUICK_DEPTHS if quick else _DEPTHS
-    series: dict[str, list[float]] = {}
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name,
-            n_tasks=effective_tasks(
-                n_tasks, quick,
-                min(150_000, get_profile(name).default_dynamic_tasks),
+def _cell(name: str, tasks: int, depths: tuple[int, ...]) -> list[float]:
+    """Return-address miss rate of one benchmark at each RAS depth."""
+    workload = load_workload(name, n_tasks=tasks)
+    rates = []
+    for depth in depths:
+        predictor = HeaderTaskPredictor(
+            program=workload.compiled.program,
+            exit_predictor=PathExitPredictor(
+                DolcSpec.parse(_EXIT_SPEC)
             ),
+            cttb=CorrelatedTaskTargetBuffer(
+                DolcSpec.parse(SMALL_CTTB_SPEC)
+            ),
+            ras=ReturnAddressStack(depth=depth),
         )
-        rates = []
-        for depth in depths:
-            predictor = HeaderTaskPredictor(
-                program=workload.compiled.program,
-                exit_predictor=PathExitPredictor(
-                    DolcSpec.parse(_EXIT_SPEC)
-                ),
-                cttb=CorrelatedTaskTargetBuffer(
-                    DolcSpec.parse(SMALL_CTTB_SPEC)
-                ),
-                ras=ReturnAddressStack(depth=depth),
+        stats = simulate_task_prediction(workload, predictor)
+        rates.append(stats.miss_rate_for("return"))
+    return rates
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    depths = _QUICK_DEPTHS if quick else _DEPTHS
+    out = []
+    for name in BENCHMARKS:
+        tasks = effective_tasks(
+            n_tasks, quick,
+            min(150_000, get_profile(name).default_dynamic_tasks),
+        )
+        out.append(
+            Cell(
+                label=name,
+                fn=_cell,
+                kwargs={"name": name, "tasks": tasks, "depths": depths},
+                workload=(name, tasks),
             )
-            stats = simulate_task_prediction(workload, predictor)
-            rates.append(stats.miss_rate_for("return"))
-        series[name] = rates
+        )
+    return out
+
+
+def combine(
+    cells: list[Cell],
+    results: list[list[float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    depths = _QUICK_DEPTHS if quick else _DEPTHS
+    series: dict[str, list[float | None]] = {}
+    for cell, rates in zip(cells, results):
+        series[cell.label] = (
+            [None] * len(depths) if is_failure(rates) else rates
+        )
     text = render_series(
         "RAS depth", list(depths), series,
         title="return-address miss rate vs RAS depth",

@@ -11,6 +11,7 @@ no repair at all.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_series
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import PathExitPredictor
@@ -27,29 +28,58 @@ _BENCHMARKS = ("gcc", "xlisp", "espresso")
 _DEFAULT_TASKS = 150_000
 _SPEC = "6-5-8-9(3)"
 
+_IDEALISED = "idealised (paper §3.1)"
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Compare repair policies against the idealised simulator's rate."""
+
+def _cell(name: str, tasks: int) -> dict[str, float]:
+    """Miss rate per repair policy (plus the idealised bound) for one
+    benchmark."""
     spec = DolcSpec.parse(_SPEC)
-    series: dict[str, list[float]] = {
-        "idealised (paper §3.1)": [],
-        **{f"speculative/{policy}": [] for policy in REPAIR_POLICIES},
-    }
-    for name in _BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        idealised = simulate_exit_prediction(
+    workload = load_workload(name, n_tasks=tasks)
+    point = {
+        _IDEALISED: simulate_exit_prediction(
             workload, PathExitPredictor(spec)
-        )
-        series["idealised (paper §3.1)"].append(idealised.miss_rate)
-        for policy in REPAIR_POLICIES:
-            stats = simulate_speculative_exit_prediction(
+        ).miss_rate
+    }
+    for policy in REPAIR_POLICIES:
+        point[f"speculative/{policy}"] = (
+            simulate_speculative_exit_prediction(
                 workload,
                 SpeculativePathPredictor(spec, repair=policy),
                 wrong_path_depth=4,
+            ).miss_rate
+        )
+    return point
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=name,
+            fn=_cell,
+            kwargs={"name": name, "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in _BENCHMARKS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    series: dict[str, list[float | None]] = {
+        _IDEALISED: [],
+        **{f"speculative/{policy}": [] for policy in REPAIR_POLICIES},
+    }
+    for point in results:
+        for key in series:
+            series[key].append(
+                None if is_failure(point) else point[key]
             )
-            series[f"speculative/{policy}"].append(stats.miss_rate)
     text = render_series(
         "benchmark", list(_BENCHMARKS), series,
         title=f"exit miss rate, {_SPEC}, wrong-path depth 4",

@@ -14,6 +14,7 @@ from dataclasses import replace
 
 from repro.compiler import PartitionConfig, compile_program
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.ideal import (
@@ -50,39 +51,64 @@ def _workload_for_seed(name: str, seed_offset: int, n_tasks: int) -> Workload:
     return Workload(profile=profile, compiled=compiled, trace=trace)
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Re-measure depth-7 GLOBAL/PATH/PER under alternative seeds."""
+def _cell(name: str, offset: int, tasks: int) -> dict[str, float]:
+    """Ideal depth-7 scheme miss rates for one (benchmark, seed) pair."""
+    workload = _workload_for_seed(name, offset, tasks)
+    return {
+        "global": simulate_exit_prediction(
+            workload, IdealGlobalPredictor(_DEPTH)
+        ).miss_rate,
+        "path": simulate_exit_prediction(
+            workload, IdealPathPredictor(_DEPTH)
+        ).miss_rate,
+        "per": simulate_exit_prediction(
+            workload, IdealPerTaskPredictor(_DEPTH)
+        ).miss_rate,
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
     tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
     seed_offsets = (0, 1) if quick else tuple(range(_N_SEEDS))
+    # Each cell regenerates its own workload, so no prewarm hint.
+    return [
+        Cell(
+            label=f"{name}+{offset}",
+            fn=_cell,
+            kwargs={"name": name, "offset": offset, "tasks": tasks},
+        )
+        for name in BENCHMARKS
+        for offset in seed_offsets
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[int, dict[str, float]]] = {}
-    for name in BENCHMARKS:
-        data[name] = {}
-        for offset in seed_offsets:
-            workload = _workload_for_seed(name, offset, tasks)
-            point = {
-                "global": simulate_exit_prediction(
-                    workload, IdealGlobalPredictor(_DEPTH)
-                ).miss_rate,
-                "path": simulate_exit_prediction(
-                    workload, IdealPathPredictor(_DEPTH)
-                ).miss_rate,
-                "per": simulate_exit_prediction(
-                    workload, IdealPerTaskPredictor(_DEPTH)
-                ).miss_rate,
-            }
-            data[name][offset] = point
-            rows.append(
-                [
-                    name,
-                    offset,
-                    format_percent(point["global"]),
-                    format_percent(point["path"]),
-                    format_percent(point["per"]),
-                    "yes" if point["path"] <= point["global"] + 0.003
-                    else "no",
-                ]
-            )
+    for cell, point in zip(cells, results):
+        name = cell.kwargs["name"]
+        offset = cell.kwargs["offset"]
+        data.setdefault(name, {})
+        if is_failure(point):  # keep-going gap: a "-" row
+            rows.append([name, offset, "-", "-", "-", "-"])
+            continue
+        data[name][offset] = point
+        rows.append(
+            [
+                name,
+                offset,
+                format_percent(point["global"]),
+                format_percent(point["path"]),
+                format_percent(point["per"]),
+                "yes" if point["path"] <= point["global"] + 0.003
+                else "no",
+            ]
+        )
     text = render_table(
         ["Benchmark", "seed+", "GLOBAL d7", "PATH d7", "PER d7",
          "PATH<=GLOBAL?"],

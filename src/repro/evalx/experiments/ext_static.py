@@ -13,6 +13,7 @@ honestly profiled rather than fitted to the evaluation stream.
 from __future__ import annotations
 
 from repro.evalx.experiments.common import BENCHMARKS, effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import format_percent, render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import (
@@ -27,37 +28,57 @@ _DEFAULT_TASKS = 200_000
 _SPEC = "6-5-8-9(3)"
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Static hints (profiled on the first half) vs dynamic predictors."""
+def _cell(name: str, tasks: int) -> dict[str, float]:
+    """Static vs Simple vs PATH second-half miss rates for one benchmark."""
+    workload = load_workload(name, n_tasks=tasks)
+    half = len(workload.trace) // 2
+    static = StaticHintExitPredictor.profile_from_trace(
+        workload.trace, training_fraction=0.5
+    )
+    return {
+        "static": _second_half_miss(workload, static, half),
+        "simple": _second_half_miss(
+            workload, SimpleExitPredictor(index_bits=14), half
+        ),
+        "path": _second_half_miss(
+            workload, PathExitPredictor(DolcSpec.parse(_SPEC)), half
+        ),
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
+    tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    return [
+        Cell(
+            label=name,
+            fn=_cell,
+            kwargs={"name": name, "tasks": tasks},
+            workload=(name, tasks),
+        )
+        for name in BENCHMARKS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[str, float]] = {}
-    for name in BENCHMARKS:
-        workload = load_workload(
-            name, n_tasks=effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
-        )
-        half = len(workload.trace) // 2
-
-        static = StaticHintExitPredictor.profile_from_trace(
-            workload.trace, training_fraction=0.5
-        )
-        static_miss = _second_half_miss(workload, static, half)
-        simple_miss = _second_half_miss(
-            workload, SimpleExitPredictor(index_bits=14), half
-        )
-        path_miss = _second_half_miss(
-            workload, PathExitPredictor(DolcSpec.parse(_SPEC)), half
-        )
-        data[name] = {
-            "static": static_miss,
-            "simple": simple_miss,
-            "path": path_miss,
-        }
+    for cell, point in zip(cells, results):
+        name = cell.label
+        if is_failure(point):  # keep-going gap: a "-" row
+            rows.append([name, "-", "-", "-"])
+            continue
+        data[name] = point
         rows.append(
             [
                 name,
-                format_percent(static_miss),
-                format_percent(simple_miss),
-                format_percent(path_miss),
+                format_percent(point["static"]),
+                format_percent(point["simple"]),
+                format_percent(point["path"]),
             ]
         )
     text = render_table(

@@ -16,6 +16,7 @@ from dataclasses import replace
 
 from repro.compiler import PartitionConfig, compile_program
 from repro.evalx.experiments.common import effective_tasks
+from repro.evalx.parallel import Cell, is_failure
 from repro.evalx.report import render_table
 from repro.evalx.result import ExperimentResult
 from repro.predictors.exit_predictors import PathExitPredictor
@@ -47,39 +48,63 @@ def _build_workload(name: str, cap: int, n_tasks: int) -> Workload:
     return Workload(profile=profile, compiled=compiled, trace=trace)
 
 
-def run(n_tasks: int | None = None, quick: bool = False) -> ExperimentResult:
-    """Sweep the partitioner's task-size cap; measure shape and accuracy."""
+def _cell(name: str, cap: int, tasks: int) -> dict[str, float]:
+    """Shape and accuracy of one benchmark re-partitioned at one cap."""
+    workload = _build_workload(name, cap, tasks)
+    stats = simulate_exit_prediction(
+        workload, PathExitPredictor(DolcSpec.parse(_SPEC))
+    )
+    return {
+        "static_tasks": float(
+            workload.compiled.program.static_task_count
+        ),
+        "insns_per_task": (
+            workload.trace.total_instructions() / len(workload.trace)
+        ),
+        "miss_rate": stats.miss_rate,
+    }
+
+
+def cells(n_tasks: int | None = None, quick: bool = False) -> list[Cell]:
     benchmarks = _QUICK_BENCHMARKS if quick else _BENCHMARKS
     tasks = effective_tasks(n_tasks, quick, _DEFAULT_TASKS)
+    # The trace is rebuilt per (benchmark, cap) pair, so no prewarm hint.
+    return [
+        Cell(
+            label=f"{name}:cap{cap}",
+            fn=_cell,
+            kwargs={"name": name, "cap": cap, "tasks": tasks},
+        )
+        for name in benchmarks
+        for cap in _BLOCK_CAPS
+    ]
+
+
+def combine(
+    cells: list[Cell],
+    results: list[dict[str, float]],
+    n_tasks: int | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
     rows = []
     data: dict[str, dict[int, dict[str, float]]] = {}
-    for name in benchmarks:
-        data[name] = {}
-        for cap in _BLOCK_CAPS:
-            workload = _build_workload(name, cap, tasks)
-            stats = simulate_exit_prediction(
-                workload, PathExitPredictor(DolcSpec.parse(_SPEC))
-            )
-            insns_per_task = (
-                workload.trace.total_instructions() / len(workload.trace)
-            )
-            point = {
-                "static_tasks": float(
-                    workload.compiled.program.static_task_count
-                ),
-                "insns_per_task": insns_per_task,
-                "miss_rate": stats.miss_rate,
-            }
-            data[name][cap] = point
-            rows.append(
-                [
-                    name,
-                    cap,
-                    int(point["static_tasks"]),
-                    f"{insns_per_task:.1f}",
-                    f"{stats.miss_rate * 100:.2f}%",
-                ]
-            )
+    for cell, point in zip(cells, results):
+        name = cell.kwargs["name"]
+        cap = cell.kwargs["cap"]
+        data.setdefault(name, {})
+        if is_failure(point):  # keep-going gap: a "-" row
+            rows.append([name, cap, "-", "-", "-"])
+            continue
+        data[name][cap] = point
+        rows.append(
+            [
+                name,
+                cap,
+                int(point["static_tasks"]),
+                f"{point['insns_per_task']:.1f}",
+                f"{point['miss_rate'] * 100:.2f}%",
+            ]
+        )
     text = render_table(
         ["Benchmark", "max blocks/task", "static tasks",
          "insns/dyn task", "exit miss"],

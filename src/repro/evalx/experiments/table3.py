@@ -118,7 +118,7 @@ def combine(
     sized = next(iter(data.values()), None)
     storage_note = "" if sized is None else (
         f"\nCTTB-only storage: {sized['cttb_only_kbytes']:.0f}KB; "
-        f"exit predictor + RAS + small CTTB: "
+        "exit predictor + RAS + small CTTB: "
         f"{sized['exit_predictor_kbytes']:.0f}KB"
     )
     text = render_table(

@@ -489,7 +489,7 @@ class _PooledRun:
                 state,
                 kind="timeout",
                 error=(
-                    f"cell exceeded the per-cell timeout of "
+                    "cell exceeded the per-cell timeout of "
                     f"{self.policy.timeout_seconds}s"
                 ),
                 wall_seconds=now - state.submitted_at,

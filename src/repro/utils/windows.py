@@ -41,7 +41,7 @@ def factorize(values: np.ndarray) -> tuple[np.ndarray, int]:
     change = np.empty(n, dtype=bool)
     change[0] = True
     change[1:] = ranked[1:] != ranked[:-1]
-    ranked_codes = np.cumsum(change) - 1
+    ranked_codes = np.cumsum(change, dtype=np.int64) - 1
     codes = np.empty(n, dtype=np.int64)
     codes[order] = ranked_codes
     return codes, int(ranked_codes[-1]) + 1
@@ -90,7 +90,7 @@ def group_columns(
     change = np.empty(n, dtype=bool)
     change[0] = True
     change[1:] = (ranked[1:] != ranked[:-1]).any(axis=1)
-    ranked_ids = np.cumsum(change) - 1
+    ranked_ids = np.cumsum(change, dtype=np.int64) - 1
     ids = np.empty(n, dtype=np.int64)
     ids[order] = ranked_ids
     return ids, int(ranked_ids[-1]) + 1

@@ -83,8 +83,6 @@ class TestSimulatorEdges:
     def test_exit_simulation_detects_corrupt_trace(self, compress_workload):
         """A single-exit task recorded with exit 1 is a corrupt trace; the
         simulator must refuse rather than mis-count."""
-        import numpy as np
-
         from repro.sim.functional import simulate_exit_prediction
         from repro.predictors.ideal import IdealPathPredictor
         from repro.synth.trace import TaskTrace

@@ -305,17 +305,26 @@ class TestJobsArgumentValidation:
         assert "integer" in err
 
 
-class TestCombineToleratesFailures:
-    """Every paper driver's combine must render gaps, not crash."""
+def _cells_combine_ids():
+    """Every registered driver that speaks the cells/combine protocol."""
+    import importlib
 
-    @pytest.mark.parametrize(
-        "experiment_id",
-        [
-            "table2", "figure3", "figure4", "figure6", "figure7",
-            "figure8", "figure10", "figure11", "figure12", "table3",
-            "table4",
-        ],
-    )
+    from repro.evalx.registry import ALL_IDS
+
+    ids = []
+    for experiment_id in ALL_IDS:
+        module = importlib.import_module(
+            f"repro.evalx.experiments.{experiment_id}"
+        )
+        if hasattr(module, "cells"):
+            ids.append(experiment_id)
+    return ids
+
+
+class TestCombineToleratesFailures:
+    """Every cells/combine driver must render gaps, not crash."""
+
+    @pytest.mark.parametrize("experiment_id", _cells_combine_ids())
     def test_all_failed_grid_still_combines(self, experiment_id):
         import importlib
 
@@ -336,3 +345,8 @@ class TestCombineToleratesFailures:
         result = module.combine(cells, failures, n_tasks=2000, quick=True)
         assert result.experiment_id == experiment_id
         assert result.text  # renders something, with gaps
+
+    def test_extension_drivers_all_speak_cells_combine(self):
+        from repro.evalx.registry import EXTENSION_IDS
+
+        assert set(EXTENSION_IDS) <= set(_cells_combine_ids())

@@ -12,7 +12,6 @@ from repro.sim.functional import simulate_exit_prediction
 from repro.synth.executor import TraceExecutor
 from repro.synth.generator import SyntheticProgramGenerator
 from repro.synth.profiles import PROFILES, get_profile
-from repro.synth.trace import TaskTrace
 from repro.synth.workloads import Workload, load_workload
 
 

@@ -14,7 +14,7 @@ from repro.isa.display import (
 )
 from repro.synth.validate import validate_workload
 
-from tests.helpers import block, compile_small
+from tests.helpers import block
 from repro.cfg.basicblock import TerminatorKind
 from repro.cfg.graph import ControlFlowGraph
 from repro.synth.behavior import FixedChoice

@@ -7,10 +7,7 @@ from repro.predictors.confidence import (
     ResettingConfidenceEstimator,
     simulate_confidence,
 )
-from repro.predictors.exit_predictors import (
-    PathExitPredictor,
-    PerTaskExitPredictor,
-)
+from repro.predictors.exit_predictors import PathExitPredictor
 from repro.predictors.folding import DolcSpec
 from repro.predictors.hybrid import TournamentExitPredictor
 from repro.predictors.ideal import IdealPathPredictor, IdealPerTaskPredictor

@@ -5,10 +5,7 @@ import pytest
 from repro.errors import PredictorConfigError
 from repro.predictors.exit_predictors import PathExitPredictor
 from repro.predictors.folding import DolcSpec
-from repro.predictors.speculative import (
-    REPAIR_POLICIES,
-    SpeculativePathPredictor,
-)
+from repro.predictors.speculative import SpeculativePathPredictor
 from repro.sim.functional import simulate_exit_prediction
 from repro.sim.relaxed import simulate_speculative_exit_prediction
 
