@@ -7,10 +7,12 @@ registry (see :func:`repro.analysis.core.register_rule`):
 * :mod:`repro.analysis.rules.purity` — ``PUR001..PUR002``
 * :mod:`repro.analysis.rules.protocol` — ``PROT001..PROT003``
 * :mod:`repro.analysis.rules.bitwidth` — ``NPW001..NPW003``
+* :mod:`repro.analysis.rules.checkpointing` — ``CKP001..CKP002``
 """
 
 from repro.analysis.rules import (  # noqa: F401  (register on import)
     bitwidth,
+    checkpointing,
     determinism,
     protocol,
     purity,

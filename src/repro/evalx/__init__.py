@@ -11,6 +11,11 @@ text report (the same rows/series the paper presents) and the raw numbers,
 which the test suite asserts shape properties against.
 """
 
+from repro.evalx.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointKeyError,
+    CheckpointStore,
+)
 from repro.evalx.metrics import RunMetrics
 from repro.evalx.parallel import CellFailure, RetryPolicy, is_failure
 from repro.evalx.registry import (
@@ -27,4 +32,7 @@ __all__ = [
     "RetryPolicy",
     "CellFailure",
     "is_failure",
+    "CheckpointStore",
+    "CheckpointCorrupt",
+    "CheckpointKeyError",
 ]

@@ -61,6 +61,32 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for count flags (``--retries``): an int >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}"
+        )
+    return value
+
+
+def _fault_spec(text: str) -> str:
+    """Argparse type for ``--inject-faults``: grammar-checked up front."""
+    from repro.evalx.faults import FaultSpecError, parse_spec
+
+    try:
+        parse_spec(text)
+    except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evalx",
@@ -101,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "--retries", type=int, default=0, metavar="N",
+        "--retries", type=_nonnegative_int, default=0, metavar="N",
         help="extra attempts granted to each failing cell (default 0)",
     )
     parser.add_argument(
@@ -128,6 +154,34 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help=(
+            "persist every completed cell to DIR atomically (crash-safe "
+            "run store); combine with --resume to skip cells whose "
+            "verified record already exists"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "serve verified records from --checkpoint-dir instead of "
+            "re-running their cells; a killed run restarted this way "
+            "completes with byte-identical output"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults", type=_fault_spec, default=None, metavar="SPEC",
+        help=(
+            "chaos harness: deterministically inject faults into the run "
+            "(e.g. 'kill@gcc*,raise@*#2,hang(30)@sc*'); see "
+            "repro.evalx.faults for the grammar. Inert unless given"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed", type=_nonnegative_int, default=0, metavar="N",
+        help="seed for the fault injector's victim choice (default 0)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also draw ASCII line charts for figure experiments",
     )
@@ -136,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
         help="append each experiment's raw data to FILE as JSON lines",
     )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
 
     from repro.evalx.metrics import RunMetrics, write_manifest
     from repro.evalx.parallel import RetryPolicy
@@ -146,6 +202,18 @@ def main(argv: list[str] | None = None) -> int:
         ids = EXTENSION_IDS
     else:
         ids = (args.experiment,)
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.evalx.checkpoint import CheckpointStore
+
+        checkpoint = CheckpointStore(
+            args.checkpoint_dir, resume=args.resume
+        )
+    if args.inject_faults:
+        _install_fault_plan(
+            args.inject_faults, args.fault_seed, ids, args
+        )
 
     retry = RetryPolicy(
         retries=args.retries,
@@ -165,6 +233,10 @@ def main(argv: list[str] | None = None) -> int:
                 "retries": args.retries,
                 "retry_backoff": args.retry_backoff,
                 "cell_timeout": args.cell_timeout,
+                "checkpoint_dir": args.checkpoint_dir,
+                "resume": args.resume,
+                "inject_faults": args.inject_faults,
+                "fault_seed": args.fault_seed,
             },
         )
         print(f"[manifest written to {manifest_path}]", file=sys.stderr)
@@ -181,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
                 keep_going=args.keep_going,
                 retry=retry,
                 metrics=metrics,
+                checkpoint=checkpoint,
             )
             elapsed = time.time() - started
             failed_cells += len(result.failures)
@@ -202,6 +275,40 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     return 0
+
+
+def _install_fault_plan(spec, seed, ids, args) -> None:
+    """Compile the ``--inject-faults`` spec and arm the injector.
+
+    The plan's victims are chosen from the cell labels of the selected
+    cell-grid experiments (legacy monolithic drivers expose no cells and
+    can't be targeted). Installation publishes the plan through the
+    :data:`repro.evalx.faults.ENV_VAR` environment variable so pool
+    workers inherit it.
+    """
+    import importlib
+
+    from repro.evalx import faults
+
+    labels: list[str] = []
+    for experiment_id in ids:
+        module = importlib.import_module(
+            f"repro.evalx.experiments.{experiment_id}"
+        )
+        if hasattr(module, "cells"):
+            labels.extend(
+                cell.label
+                for cell in module.cells(
+                    n_tasks=args.tasks, quick=args.quick
+                )
+            )
+    plan = faults.FaultPlan.compile(spec, seed=seed, labels=labels)
+    faults.install(plan)
+    print(
+        f"[fault injection armed: {len(plan.triggers)} trigger(s) "
+        f"from spec {spec!r}, seed {seed}]",
+        file=sys.stderr,
+    )
 
 
 def _append_json(path: str, result, elapsed: float) -> None:

@@ -23,9 +23,27 @@ Metrics JSONL schema (one record per line, ``event`` discriminates):
     ``timeout`` / ``crash``; ``final`` is false when a retry follows;
     ``cache`` holds the :func:`repro.synth.workloads.cache_counters`
     deltas observed by that attempt (trace/program hits and builds).
+``checkpoint``
+    ``{"event", "ts", "experiment", "cell", "action", "fingerprint",
+    "reason"}`` — one record per checkpoint-store interaction;
+    ``action`` is ``resume`` (verified record served, cell skipped),
+    ``saved`` (completed cell persisted), ``save-failed``, ``corrupt``
+    (record failed verification and was discarded; ``reason`` says
+    why), or ``unfingerprintable`` (kwargs not canonicalizable — cell
+    runs but is never checkpointed).
+``fault``
+    ``{"event", "ts", "experiment", "cell", "action", "attempt",
+    "phase"}`` — injected-fault bookkeeping; ``phase`` is ``armed``
+    (the plan targets this cell in this experiment) or ``fired``
+    (parent-side store corruption applied). Worker-side faults show up
+    as ordinary ``cell`` failure records.
+``interrupt``
+    ``{"event", "ts", "experiment", "signal"}`` — the run caught
+    SIGINT/SIGTERM, flushed, and is about to re-raise; everything
+    recorded before this line is resumable state.
 ``experiment``
-    ``{"event", "ts", "experiment", "cells", "failed", "retries",
-    "wall_seconds"}`` — the per-experiment total.
+    ``{"event", "ts", "experiment", "cells", "resumed", "failed",
+    "retries", "wall_seconds"}`` — the per-experiment total.
 
 Everything here is observability only: recorders never influence cell
 scheduling or payloads, so results stay bit-identical with or without
@@ -69,6 +87,7 @@ class RunMetrics:
         self._done = 0
         self._failed = 0
         self._retries = 0
+        self._resumed = 0
         self._started = 0.0
 
     @classmethod
@@ -87,6 +106,7 @@ class RunMetrics:
         self._done = 0
         self._failed = 0
         self._retries = 0
+        self._resumed = 0
         self._started = time.perf_counter()
         self._emit(
             {
@@ -136,6 +156,71 @@ class RunMetrics:
             self._retries += 1
         self._draw_progress()
 
+    def checkpoint_event(
+        self,
+        label: str,
+        action: str,
+        fingerprint: str = "",
+        reason: str | None = None,
+    ) -> None:
+        """Record one checkpoint-store interaction for one cell.
+
+        ``action``: ``resume`` / ``saved`` / ``save-failed`` /
+        ``corrupt`` / ``unfingerprintable``. A ``resume`` also advances
+        the progress line — the cell's slot is filled without running.
+        """
+        record: dict[str, Any] = {
+            "event": "checkpoint",
+            "ts": time.time(),
+            "experiment": self._experiment,
+            "cell": label,
+            "action": action,
+        }
+        if fingerprint:
+            record["fingerprint"] = fingerprint
+        if reason is not None:
+            record["reason"] = reason
+        self._emit(record)
+        if action == "resume":
+            self._done += 1
+            self._resumed += 1
+            self._draw_progress()
+
+    def fault_event(
+        self, label: str, action: str, attempt: int, phase: str
+    ) -> None:
+        """Record an injected fault (``phase``: armed / fired)."""
+        self._emit(
+            {
+                "event": "fault",
+                "ts": time.time(),
+                "experiment": self._experiment,
+                "cell": label,
+                "action": action,
+                "attempt": attempt,
+                "phase": phase,
+            }
+        )
+
+    def interrupted(self, signal_name: str) -> None:
+        """Record a graceful interrupt (SIGINT/SIGTERM) and flush.
+
+        Emitted after the pool is shut down and before the interrupt
+        re-raises; every record before this line is durable, so a
+        ``--resume`` of the same checkpoint dir picks up exactly here.
+        """
+        self._emit(
+            {
+                "event": "interrupt",
+                "ts": time.time(),
+                "experiment": self._experiment,
+                "signal": signal_name,
+            }
+        )
+        if self._progress:
+            sys.stderr.write(f"\n[interrupted by {signal_name}]\n")
+            sys.stderr.flush()
+
     def end_experiment(self) -> None:
         """Record the experiment total and finish the progress line."""
         self._emit(
@@ -144,6 +229,7 @@ class RunMetrics:
                 "ts": time.time(),
                 "experiment": self._experiment,
                 "cells": self._total,
+                "resumed": self._resumed,
                 "failed": self._failed,
                 "retries": self._retries,
                 "wall_seconds": round(

@@ -36,9 +36,29 @@ locally instead of squashing the whole sweep.
   it, the first final failure cancels all queued cells
   (``shutdown(cancel_futures=True)``) and raises promptly.
 
+Two durability layers sit on top of the retry machinery:
+
+* **Checkpoint/resume** — pass a
+  :class:`~repro.evalx.checkpoint.CheckpointStore` and every completed
+  cell is persisted atomically the moment it finishes; a store opened
+  with ``resume=True`` serves verified records up front, so a run
+  killed outright (SIGKILL, OOM, CI preemption) restarts and completes
+  with byte-identical output. Corrupt or stale records are typed
+  :class:`~repro.evalx.checkpoint.CheckpointCorrupt` events that fall
+  back to re-execution.
+* **Graceful interrupts** — ``run_sharded`` converts SIGINT/SIGTERM
+  into an orderly stop: the pool is shut down, metrics are flushed with
+  an ``interrupt`` event, the checkpoint store is left consistent, and
+  the interrupt re-raises — so Ctrl-C is always resumable.
+
 Observability threads through the same path: pass a
 :class:`~repro.evalx.metrics.RunMetrics` and every attempt is recorded
 (wall time, worker pid, workload-cache deltas) as JSON lines.
+
+Fault injection (:mod:`repro.evalx.faults`) hooks the same choke
+points: the worker-side cell runner fires planned ``raise``/``hang``/
+``kill`` faults, and the parent applies planned record corruption —
+inert unless a plan is explicitly installed.
 
 Before fanning out, the scheduler pre-warms each distinct workload in
 the parent process so trace generation happens once, not once per
@@ -50,19 +70,34 @@ written atomically by :mod:`repro.synth.workloads`.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import CellExecutionError
+from repro.evalx import faults
+from repro.evalx.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointKeyError,
+    CheckpointStore,
+    cell_fingerprint,
+)
 from repro.evalx.metrics import RunMetrics
 from repro.evalx.report import render_failures
 from repro.evalx.result import ExperimentResult
-from repro.synth.workloads import cache_counters, prewarm_workload
+from repro.synth.workloads import (
+    CHECKPOINT_ENV,
+    cache_counters,
+    prewarm_workload,
+    trace_cache_path,
+)
 
 
 @dataclass(frozen=True)
@@ -162,8 +197,14 @@ class _CellOutcome:
     cache: dict[str, int]
 
 
-def _run_cell_instrumented(cell: Cell) -> _CellOutcome:
-    """Run one cell and measure it (executes inside the worker)."""
+def _run_cell_instrumented(cell: Cell, attempt: int = 1) -> _CellOutcome:
+    """Run one cell and measure it (executes inside the worker).
+
+    The fault hook fires first: inert unless a chaos plan is installed
+    (see :mod:`repro.evalx.faults`), in which case a planned victim
+    attempt raises, hangs, or hard-kills this worker right here.
+    """
+    faults.fire(cell.label, attempt)
     before = cache_counters()
     started = time.perf_counter()
     payload = cell.fn(**cell.kwargs)
@@ -216,6 +257,7 @@ def execute_cells(
     keep_going: bool = False,
     retry: RetryPolicy | None = None,
     metrics: RunMetrics | None = None,
+    on_result: Callable[[Cell, Any], None] | None = None,
 ) -> list:
     """Run every cell and return payloads in cell order.
 
@@ -228,14 +270,22 @@ def execute_cells(
     the cell — cancelling every still-queued cell first so the error
     surfaces promptly — unless ``keep_going`` is set, in which case its
     result slot holds a :class:`CellFailure` and the sweep completes.
+
+    ``on_result`` is invoked in the parent process the moment a cell's
+    payload is final (successful payloads only, never
+    :class:`CellFailure` gaps) — the checkpoint store persists cells
+    through this hook, so results survive even if the run never
+    finishes assembling them.
     """
     policy = retry or DEFAULT_RETRY_POLICY
     recorder = metrics or RunMetrics.disabled()
     n_workers = resolve_jobs(jobs)
     if n_workers <= 1 or len(cells) <= 1:
-        return _execute_serial(cells, policy, keep_going, recorder)
+        return _execute_serial(
+            cells, policy, keep_going, recorder, on_result
+        )
     return _execute_pooled(
-        cells, n_workers, policy, keep_going, recorder
+        cells, n_workers, policy, keep_going, recorder, on_result
     )
 
 
@@ -244,6 +294,7 @@ def _execute_serial(
     policy: RetryPolicy,
     keep_going: bool,
     metrics: RunMetrics,
+    on_result: Callable[[Cell, Any], None] | None = None,
 ) -> list:
     """In-process execution with the same retry/keep-going semantics.
 
@@ -257,7 +308,7 @@ def _execute_serial(
             attempts += 1
             started = time.perf_counter()
             try:
-                outcome = _run_cell_instrumented(cell)
+                outcome = _run_cell_instrumented(cell, attempts)
             except Exception as exc:
                 wall = time.perf_counter() - started
                 final = attempts > policy.retries
@@ -295,6 +346,8 @@ def _execute_serial(
                     cache=outcome.cache,
                 )
                 results.append(outcome.payload)
+                if on_result is not None:
+                    on_result(cell, outcome.payload)
                 break
     return results
 
@@ -320,11 +373,13 @@ class _PooledRun:
         policy: RetryPolicy,
         keep_going: bool,
         metrics: RunMetrics,
+        on_result: Callable[[Cell, Any], None] | None = None,
     ) -> None:
         self.cells = cells
         self.policy = policy
         self.keep_going = keep_going
         self.metrics = metrics
+        self.on_result = on_result
         self.max_workers = min(n_workers, len(cells))
         self.results: list[Any] = [_PENDING] * len(cells)
         self.queued: list[_CellState] = [
@@ -373,7 +428,9 @@ class _PooledRun:
         state.attempts += 1
         state.submitted_at = time.monotonic()
         self.in_flight[
-            self.pool.submit(_run_cell_instrumented, state.cell)
+            self.pool.submit(
+                _run_cell_instrumented, state.cell, state.attempts
+            )
         ] = state
 
     def _submit_due(self) -> None:
@@ -546,6 +603,8 @@ class _PooledRun:
                             cache=outcome.cache,
                         )
                         self.results[state.index] = outcome.payload
+                        if self.on_result is not None:
+                            self.on_result(state.cell, outcome.payload)
                 if crashed:
                     self._handle_crash(crashed)
                 else:
@@ -561,8 +620,137 @@ def _execute_pooled(
     policy: RetryPolicy,
     keep_going: bool,
     metrics: RunMetrics,
+    on_result: Callable[[Cell, Any], None] | None = None,
 ) -> list:
-    return _PooledRun(cells, n_workers, policy, keep_going, metrics).run()
+    return _PooledRun(
+        cells, n_workers, policy, keep_going, metrics, on_result
+    ).run()
+
+
+@contextmanager
+def _graceful_interrupts(recorder: RunMetrics):
+    """Convert SIGINT/SIGTERM into a clean, resumable stop.
+
+    Both signals raise ``KeyboardInterrupt`` at the scheduler's next
+    bytecode boundary; the pool's ``finally`` shutdown runs, an
+    ``interrupt`` event is flushed to the metrics stream, and the
+    interrupt re-raises. The checkpoint store needs no special handling
+    — its writes are atomic and happen per completed cell, so whatever
+    finished before the signal is already durable.
+
+    Handlers can only be installed from the main thread; elsewhere the
+    default behaviour is kept (a KeyboardInterrupt raised by a cell is
+    still recorded).
+    """
+    received: list[int] = []
+
+    def _handler(signum, frame):
+        received.append(signum)
+        raise KeyboardInterrupt
+
+    previous: dict[int, Any] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):  # non-main interpreter quirks
+                pass
+    try:
+        yield
+    except KeyboardInterrupt:
+        name = (
+            signal.Signals(received[-1]).name if received else "SIGINT"
+        )
+        recorder.interrupted(name)
+        raise
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _announce_faults(plan, cells: Sequence[Cell], recorder: RunMetrics):
+    """Emit one ``armed`` fault event per trigger aimed at this grid."""
+    labels = {cell.label for cell in cells}
+    for trigger in plan.triggers:
+        if trigger.label in labels:
+            recorder.fault_event(
+                trigger.label, trigger.action, trigger.attempt, "armed"
+            )
+
+
+def _corrupt_trace_records(
+    plan, cells: Sequence[Cell], recorder: RunMetrics
+) -> None:
+    """Apply planned ``corrupt-trace`` damage before any cell runs."""
+    done: set[str] = set()
+    for trigger in plan.store_triggers():
+        if trigger.action != "corrupt-trace" or trigger.label in done:
+            continue
+        for cell in cells:
+            if cell.label == trigger.label and cell.workload is not None:
+                path = trace_cache_path(*cell.workload)
+                if path is not None and faults.corrupt_file(path):
+                    done.add(trigger.label)
+                    recorder.fault_event(
+                        cell.label,
+                        trigger.action,
+                        trigger.attempt,
+                        "fired",
+                    )
+                break
+
+
+def _prefill_from_store(
+    store: CheckpointStore,
+    experiment_id: str,
+    cells: Sequence[Cell],
+    results: list,
+    fingerprints: dict[int, str],
+    plan,
+    recorder: RunMetrics,
+) -> None:
+    """Fingerprint every cell; serve verified records when resuming.
+
+    Fills ``fingerprints`` for all checkpointable cells (so completions
+    get persisted either way) and, when the store was opened with
+    ``resume=True``, fills ``results`` slots from verified records.
+    Planned ``corrupt-checkpoint`` faults are applied just before the
+    load so the corruption-detection path runs against real damage.
+    """
+    for index, cell in enumerate(cells):
+        try:
+            fingerprint = cell_fingerprint(experiment_id, cell)
+        except CheckpointKeyError as exc:
+            recorder.checkpoint_event(
+                cell.label, "unfingerprintable", reason=str(exc)
+            )
+            continue
+        fingerprints[index] = fingerprint
+        if not store.resume:
+            continue
+        if plan is not None:
+            for trigger in plan.store_triggers():
+                if (
+                    trigger.action == "corrupt-checkpoint"
+                    and trigger.label == cell.label
+                    and faults.corrupt_file(store.path_for(fingerprint))
+                ):
+                    recorder.fault_event(
+                        cell.label,
+                        trigger.action,
+                        trigger.attempt,
+                        "fired",
+                    )
+        record = store.load(fingerprint, cell.label)
+        if record is None:
+            continue
+        if isinstance(record, CheckpointCorrupt):
+            recorder.checkpoint_event(
+                cell.label, "corrupt", fingerprint, record.reason
+            )
+            continue
+        results[index] = record.payload
+        recorder.checkpoint_event(cell.label, "resume", fingerprint)
 
 
 def run_sharded(
@@ -573,6 +761,7 @@ def run_sharded(
     keep_going: bool = False,
     retry: RetryPolicy | None = None,
     metrics: RunMetrics | None = None,
+    checkpoint: CheckpointStore | None = None,
     **kwargs,
 ) -> ExperimentResult:
     """Run a cell-structured experiment module end to end.
@@ -582,6 +771,13 @@ def run_sharded(
     they are listed in the result's ``failures`` field, appended to the
     report text, and recorded under ``data["_failed_cells"]`` so both
     humans and shape-checking tests can see the gaps.
+
+    ``checkpoint`` makes the run durable: every completed cell is
+    persisted atomically as it finishes, and a store opened with
+    ``resume=True`` skips cells whose verified record already exists —
+    so a killed run restarts and completes with byte-identical output
+    to an uninterrupted one. SIGINT/SIGTERM are caught, flushed to the
+    metrics stream, and re-raised, leaving the store consistent.
     """
     recorder = metrics or RunMetrics.disabled()
     cells = module.cells(n_tasks=n_tasks, quick=quick, **kwargs)
@@ -589,16 +785,60 @@ def run_sharded(
     recorder.begin_experiment(
         experiment_id, n_cells=len(cells), jobs=resolve_jobs(jobs)
     )
-    try:
-        results = execute_cells(
+    plan = faults.active_plan()
+    if plan is not None:
+        _announce_faults(plan, cells, recorder)
+        _corrupt_trace_records(plan, cells, recorder)
+    results: list[Any] = [_PENDING] * len(cells)
+    fingerprints: dict[int, str] = {}
+    if checkpoint is not None:
+        _prefill_from_store(
+            checkpoint,
+            experiment_id,
             cells,
-            jobs=jobs,
-            keep_going=keep_going,
-            retry=retry,
-            metrics=recorder,
+            results,
+            fingerprints,
+            plan,
+            recorder,
         )
+    remaining = [i for i, slot in enumerate(results) if slot is _PENDING]
+    index_of = {id(cells[i]): i for i in remaining}
+
+    def _persist(cell: Cell, payload: Any) -> None:
+        fingerprint = fingerprints.get(index_of[id(cell)])
+        if fingerprint is None or checkpoint is None:
+            return
+        saved = checkpoint.save(
+            fingerprint, cell.label, experiment_id, payload
+        )
+        recorder.checkpoint_event(
+            cell.label, "saved" if saved else "save-failed", fingerprint
+        )
+
+    previous_env = os.environ.get(CHECKPOINT_ENV)
+    if checkpoint is not None:
+        # Publish the store location so the workload prewarm sweep can
+        # reap orphaned record temp files from earlier killed runs.
+        os.environ[CHECKPOINT_ENV] = str(checkpoint.directory)
+    try:
+        with _graceful_interrupts(recorder):
+            executed = execute_cells(
+                [cells[i] for i in remaining],
+                jobs=jobs,
+                keep_going=keep_going,
+                retry=retry,
+                metrics=recorder,
+                on_result=_persist if checkpoint is not None else None,
+            )
     finally:
+        if checkpoint is not None:
+            if previous_env is None:
+                os.environ.pop(CHECKPOINT_ENV, None)
+            else:
+                os.environ[CHECKPOINT_ENV] = previous_env
         recorder.end_experiment()
+    for index, payload in zip(remaining, executed):
+        results[index] = payload
     result = module.combine(
         cells, results, n_tasks=n_tasks, quick=quick, **kwargs
     )

@@ -50,6 +50,7 @@ def run_experiment(
     keep_going: bool = False,
     retry=None,
     metrics=None,
+    checkpoint=None,
     **kwargs,
 ) -> ExperimentResult:
     """Run the named experiment and return its result.
@@ -65,9 +66,11 @@ def run_experiment(
     :class:`~repro.evalx.parallel.CellFailure` gaps instead of aborting;
     ``retry`` is a :class:`~repro.evalx.parallel.RetryPolicy` (attempts,
     backoff, per-cell timeout); ``metrics`` is a
-    :class:`~repro.evalx.metrics.RunMetrics` recorder. Extra keyword
-    arguments pass through to the driver (e.g. ``benchmarks=("gcc",)``
-    for figure7/figure10).
+    :class:`~repro.evalx.metrics.RunMetrics` recorder; ``checkpoint``
+    is a :class:`~repro.evalx.checkpoint.CheckpointStore` that persists
+    each completed cell and (in resume mode) serves verified records
+    instead of re-running. Extra keyword arguments pass through to the
+    driver (e.g. ``benchmarks=("gcc",)`` for figure7/figure10).
     """
     if experiment_id not in ALL_IDS:
         raise ExperimentError(
@@ -85,6 +88,7 @@ def run_experiment(
             keep_going=keep_going,
             retry=retry,
             metrics=metrics,
+            checkpoint=checkpoint,
             **kwargs,
         )
     # Legacy monolithic drivers (extensions, summary) run serially;

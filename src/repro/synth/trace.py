@@ -30,6 +30,21 @@ CF_TYPE_FROM_CODE: dict[int, ControlFlowType] = {
     code: cf for cf, code in CF_TYPE_CODES.items()
 }
 
+def _columns_digest(arrays: dict, program_name: str) -> str:
+    """SHA-256 over every column's name, dtype, shape, and bytes."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(program_name.encode("utf-8"))
+    for name in _FIELDS:
+        column = np.asarray(arrays[name])
+        digest.update(
+            f"\n{name}:{column.dtype.str}:{column.shape}\n".encode("utf-8")
+        )
+        digest.update(column.tobytes())
+    return digest.hexdigest()
+
+
 _FIELDS = (
     "task_addr",
     "exit_index",
@@ -101,23 +116,46 @@ class TaskTrace:
         )
 
     def save(self, path: Path | str) -> None:
-        """Save the trace to a compressed .npz file."""
+        """Save the trace to a compressed .npz file.
+
+        The file embeds a SHA-256 checksum over every column, so a
+        record damaged after its atomic publication (bad sector, torn
+        copy, deliberate chaos-test corruption) is detected at load
+        time instead of silently feeding wrong data to a simulator.
+        """
         arrays = {name: getattr(self, name) for name in _FIELDS}
         np.savez_compressed(
-            Path(path), program_name=np.array(self.program_name), **arrays
+            Path(path),
+            program_name=np.array(self.program_name),
+            checksum=np.array(_columns_digest(arrays, self.program_name)),
+            **arrays,
         )
 
     @classmethod
     def load(cls, path: Path | str) -> "TaskTrace":
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        Raises :class:`~repro.errors.TraceError` when the embedded
+        checksum does not match the loaded columns (files written
+        before checksums existed load unverified). The trace cache
+        treats that as a miss and regenerates.
+        """
         with np.load(Path(path)) as data:
             missing = [name for name in _FIELDS if name not in data]
             if missing:
                 raise TraceError(f"trace file missing columns: {missing}")
-            return cls(
-                **{name: data[name] for name in _FIELDS},
-                program_name=str(data["program_name"]),
-            )
+            arrays = {name: data[name] for name in _FIELDS}
+            program_name = str(data["program_name"])
+            if "checksum" in data:
+                stored = str(data["checksum"])
+                computed = _columns_digest(arrays, program_name)
+                if stored != computed:
+                    raise TraceError(
+                        f"trace file {path} checksum mismatch "
+                        f"({computed[:12]}... != {stored[:12]}...): "
+                        "file damaged after write"
+                    )
+            return cls(**arrays, program_name=program_name)
 
 
 class TraceBuilder:

@@ -33,6 +33,11 @@ from repro.utils.hashing import stable_hash
 #: Set the REPRO_CACHE_DIR environment variable to move the trace cache.
 _CACHE_ENV = "REPRO_CACHE_DIR"
 
+#: Set by the experiment engine while a checkpoint store is active
+#: (see :mod:`repro.evalx.checkpoint`), so the prewarm sweep can reap
+#: orphaned record temp files left by killed runs.
+CHECKPOINT_ENV = "REPRO_CHECKPOINT_DIR"
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -68,6 +73,7 @@ _cache_stats = {
     "trace_memory_hits": 0,
     "trace_disk_hits": 0,
     "trace_builds": 0,
+    "orphan_tmp_reaps": 0,
 }
 
 
@@ -113,9 +119,11 @@ def disk_cache_enabled() -> bool:
     return _cache_dir() is not None
 
 
-#: Temp files from a worker killed mid-``trace.save`` look like
-#: ``.{stem}.tmp-{pid}.npz`` (see :func:`_save_cached`).
-_TMP_NAME = re.compile(r"^\..+\.tmp-(\d+)\.npz$")
+#: Temp files from a process killed mid-publish: trace-cache writers
+#: leave ``.{stem}.tmp-{pid}.npz`` (see :func:`_save_cached`), the
+#: checkpoint store leaves ``.{fingerprint}.tmp-{pid}`` (see
+#: :mod:`repro.evalx.checkpoint`).
+_TMP_NAME = re.compile(r"^\..+\.tmp-(\d+)(?:\.npz)?$")
 
 #: A temp file older than this is orphaned even if its pid was recycled.
 _TMP_MAX_AGE_SECONDS = 3600.0
@@ -135,14 +143,17 @@ def _pid_alive(pid: int) -> bool:
 
 
 def sweep_orphan_tmp_files(cache_dir: Path | None = None) -> list[Path]:
-    """Delete stale ``.tmp-<pid>.npz`` leftovers from the trace cache.
+    """Delete stale ``.tmp-<pid>`` leftovers from an atomic-write dir.
 
-    A worker killed between ``trace.save`` and ``os.replace`` leaves its
-    temp file behind forever; without this sweep they accumulate one per
-    crashed pid. A temp file is orphaned when its owning pid is dead, or
-    when it is older than an hour (pid-recycling guard). Files being
-    written right now belong to live pids and are recent, so they are
-    never touched. Returns the paths removed.
+    A process killed between writing its temp file and ``os.replace``
+    leaves the temp behind forever; without this sweep they accumulate
+    one per crashed pid. Applies to both trace-cache entries and
+    checkpoint records — the two stores share the write-to-tmp
+    discipline and the temp naming scheme. A temp file is orphaned when
+    its owning pid is dead, or when it is older than an hour
+    (pid-recycling guard). Files being written right now belong to live
+    pids and are recent, so they are never touched. Returns the paths
+    removed; the count lands in the ``orphan_tmp_reaps`` cache counter.
     """
     if cache_dir is None:
         cache_dir = _cache_dir()
@@ -164,7 +175,14 @@ def sweep_orphan_tmp_files(cache_dir: Path | None = None) -> list[Path]:
             removed.append(tmp_path)
         except OSError:
             pass
+    _cache_stats["orphan_tmp_reaps"] += len(removed)
     return removed
+
+
+def _checkpoint_dir() -> Path | None:
+    """The active checkpoint store directory, if any (env-published)."""
+    configured = os.environ.get(CHECKPOINT_ENV, "")
+    return Path(configured) if configured else None
 
 
 def prewarm_workload(name: str, n_tasks: int | None = None) -> str:
@@ -173,10 +191,15 @@ def prewarm_workload(name: str, n_tasks: int | None = None) -> str:
     The parallel experiment scheduler runs this once per distinct
     (benchmark, length) before fanning cells out, so worker processes
     find warm cache entries instead of each regenerating the same trace.
-    Also sweeps orphaned temp files left by workers killed mid-write.
-    Returns the benchmark name (a picklable acknowledgement for pools).
+    Also sweeps orphaned temp files left by killed processes — in the
+    trace cache and, when a checkpoint store is active, in its record
+    directory too. Returns the benchmark name (a picklable
+    acknowledgement for pools).
     """
     sweep_orphan_tmp_files()
+    checkpoint_dir = _checkpoint_dir()
+    if checkpoint_dir is not None:
+        sweep_orphan_tmp_files(checkpoint_dir)
     load_workload(name, n_tasks)
     return name
 
@@ -268,16 +291,30 @@ def _save_cached(trace: TaskTrace, cache_path: Path) -> None:
         raise
 
 
+def trace_cache_path(name: str, n_tasks: int | None = None) -> Path | None:
+    """Disk-cache entry path for a (benchmark, length), or None if off.
+
+    The file may or may not exist; this only computes where it lives.
+    Used by cache-hygiene tooling and the fault injector's
+    ``corrupt-trace`` action.
+    """
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
+    profile = get_profile(name)
+    if n_tasks is None:
+        n_tasks = profile.default_dynamic_tasks
+    return cache_dir / (
+        f"{profile.name}-{_profile_fingerprint(profile)}"
+        f"-s{profile.seed}-n{n_tasks}.npz"
+    )
+
+
 def _load_or_run(
     profile: BenchmarkProfile, compiled: CompiledProgram, n_tasks: int
 ) -> TaskTrace:
-    cache_dir = _cache_dir()
-    cache_path = None
-    if cache_dir is not None:
-        cache_path = cache_dir / (
-            f"{profile.name}-{_profile_fingerprint(profile)}"
-            f"-s{profile.seed}-n{n_tasks}.npz"
-        )
+    cache_path = trace_cache_path(profile.name, n_tasks)
+    if cache_path is not None:
         cached = _try_load_cached(cache_path, compiled)
         if cached is not None:
             _cache_stats["trace_disk_hits"] += 1

@@ -45,12 +45,13 @@ def _rule_ids(findings: list[Finding]) -> list[str]:
 
 
 class TestRuleRegistry:
-    def test_all_twelve_rules_register_once(self):
+    def test_all_fourteen_rules_register_once(self):
         rules = all_rules()
         ids = [rule.id for rule in rules]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
         assert set(ids) == {
+            "CKP001", "CKP002",
             "DET001", "DET002", "DET003", "DET004",
             "NPW001", "NPW002", "NPW003",
             "PROT001", "PROT002", "PROT003",
@@ -401,6 +402,127 @@ class TestBitwidthRules:
                 """,
         })
         findings, _ = _run(tmp_path, ["NPW003"])
+        assert findings == []
+
+
+class TestCheckpointRules:
+    def test_unfingerprintable_cell_kwargs_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/experiments/driver.py": """\
+                from repro.evalx.parallel import Cell
+
+
+                def cells(n_tasks=None, quick=False):
+                    return [
+                        Cell(
+                            label="bad-set",
+                            fn=print,
+                            kwargs={"names": {"a", "b"}},
+                        ),
+                        Cell(
+                            label="bad-key",
+                            fn=print,
+                            kwargs={"table": {1: "x"}},
+                        ),
+                        Cell(
+                            label="bad-lambda",
+                            fn=print,
+                            kwargs={"hook": lambda: 0},
+                        ),
+                    ]
+                """,
+        })
+        findings, _ = _run(tmp_path, ["CKP001"])
+        assert _rule_ids(findings) == ["CKP001"] * 3
+        assert "never be checkpointed" in findings[0].message
+
+    def test_canonical_cell_kwargs_pass(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/experiments/driver.py": """\
+                from repro.evalx.parallel import Cell
+
+
+                def cells(n_tasks=None, quick=False):
+                    widths = [64, 256, 1024]
+                    return [
+                        Cell(
+                            label="ok",
+                            fn=print,
+                            kwargs={
+                                "name": "gcc",
+                                "tasks": n_tasks,
+                                "widths": widths,
+                                "nested": {"a": (1, 2.5, None)},
+                            },
+                        ),
+                    ]
+                """,
+        })
+        findings, _ = _run(tmp_path, ["CKP001"])
+        assert findings == []
+
+    def test_cell_outside_experiments_scope_not_scanned(self, tmp_path):
+        _project(tmp_path, {
+            "helpers/build.py": """\
+                from repro.evalx.parallel import Cell
+
+                CELL = Cell(label="x", fn=print, kwargs={"s": {1, 2}})
+                """,
+        })
+        findings, _ = _run(tmp_path, ["CKP001"])
+        assert findings == []
+
+    def test_fault_install_outside_optin_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/experiments/sneaky.py": """\
+                import os
+
+                from repro.evalx import faults
+
+
+                def arm(plan):
+                    faults.install(plan)
+
+
+                def arm_by_env(raw):
+                    os.environ["REPRO_FAULTS"] = raw
+                """,
+        })
+        findings, _ = _run(tmp_path, ["CKP002"])
+        assert _rule_ids(findings) == ["CKP002", "CKP002"]
+        assert "arms the chaos injector" in findings[0].message
+
+    def test_fault_install_in_sanctioned_modules_passes(self, tmp_path):
+        _project(tmp_path, {
+            "repro/evalx/faults.py": """\
+                import os
+
+
+                def install(plan):
+                    os.environ["REPRO_FAULTS"] = plan
+                """,
+            "repro/evalx/__main__.py": """\
+                from repro.evalx import faults
+
+
+                def main(plan):
+                    faults.install(plan)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["CKP002"])
+        assert findings == []
+
+    def test_other_environ_assignments_pass(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/parallel.py": """\
+                import os
+
+
+                def publish(directory):
+                    os.environ["REPRO_CHECKPOINT_DIR"] = directory
+                """,
+        })
+        findings, _ = _run(tmp_path, ["CKP002"])
         assert findings == []
 
 

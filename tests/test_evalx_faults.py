@@ -305,6 +305,69 @@ class TestJobsArgumentValidation:
         assert "integer" in err
 
 
+class TestRobustnessFlagValidation:
+    """Satellite: every fault-handling knob is validated by argparse —
+    the error arrives before any trace is generated."""
+
+    def _run(self, argv, capsys):
+        from repro.evalx.__main__ import main
+
+        with pytest.raises(SystemExit) as info:
+            main(argv)
+        return info.value.code, capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, capsys):
+        code, err = self._run(["table2", "--retries", "-1"], capsys)
+        assert code == 2
+        assert ">= 0" in err
+
+    def test_non_integer_retries_rejected(self, capsys):
+        code, err = self._run(["table2", "--retries", "two"], capsys)
+        assert code == 2
+        assert "integer" in err
+
+    def test_nonpositive_backoff_rejected(self, capsys):
+        code, err = self._run(
+            ["table2", "--retry-backoff", "0"], capsys
+        )
+        assert code == 2
+        assert "positive" in err
+
+    def test_nonpositive_timeout_rejected(self, capsys):
+        code, err = self._run(
+            ["table2", "--cell-timeout", "-3"], capsys
+        )
+        assert code == 2
+        assert "positive" in err
+
+    def test_resume_without_checkpoint_dir_rejected(self, capsys):
+        code, err = self._run(["table2", "--resume"], capsys)
+        assert code == 2
+        assert "--resume requires --checkpoint-dir" in err
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        code, err = self._run(
+            ["table2", "--inject-faults", "explode@gcc"], capsys
+        )
+        assert code == 2
+        assert "unknown fault action" in err
+
+    def test_hang_without_duration_rejected(self, capsys):
+        code, err = self._run(
+            ["table2", "--inject-faults", "hang@gcc"], capsys
+        )
+        assert code == 2
+        assert "hang needs an explicit duration" in err
+
+    def test_negative_fault_seed_rejected(self, capsys):
+        code, err = self._run(
+            ["table2", "--inject-faults", "raise", "--fault-seed", "-5"],
+            capsys,
+        )
+        assert code == 2
+        assert ">= 0" in err
+
+
 def _cells_combine_ids():
     """Every registered driver that speaks the cells/combine protocol."""
     import importlib

@@ -123,6 +123,45 @@ class TestOrphanTempSweep:
         assert entry.exists()
         assert not orphan.exists()
 
+    def test_sweep_counts_reaps_in_cache_counters(self, cache_dir):
+        before = workloads.cache_counters()["orphan_tmp_reaps"]
+        for stem in ("a", "b"):
+            orphan = cache_dir / f".{stem}.tmp-{self._dead_pid()}.npz"
+            orphan.write_bytes(b"junk")
+        workloads.sweep_orphan_tmp_files(cache_dir)
+        after = workloads.cache_counters()["orphan_tmp_reaps"]
+        assert after == before + 2
+
+    def test_checkpoint_tmp_names_match_the_sweep_pattern(
+        self, cache_dir
+    ):
+        # The checkpoint store's temp naming (no .npz suffix) must be
+        # covered by the same sweep as trace-cache temps.
+        orphan = cache_dir / f".{'f' * 40}.tmp-{self._dead_pid()}"
+        orphan.write_bytes(b"half a checkpoint record")
+        removed = workloads.sweep_orphan_tmp_files(cache_dir)
+        assert orphan in removed
+
+    def test_prewarm_sweeps_active_checkpoint_dir(
+        self, cache_dir, tmp_path, monkeypatch
+    ):
+        ckpt_dir = tmp_path / "ckpt-store"
+        ckpt_dir.mkdir()
+        orphan = ckpt_dir / f".{'e' * 40}.tmp-{self._dead_pid()}"
+        orphan.write_bytes(b"torn record")
+        keeper = ckpt_dir / (("e" * 40) + ".ckpt.json")
+        keeper.write_text("{}")
+        monkeypatch.setenv(workloads.CHECKPOINT_ENV, str(ckpt_dir))
+        workloads.prewarm_workload("compress", 1500)
+        assert not orphan.exists()
+        assert keeper.exists()  # published records are never touched
+
+    def test_prewarm_ignores_unset_checkpoint_env(
+        self, cache_dir, monkeypatch
+    ):
+        monkeypatch.delenv(workloads.CHECKPOINT_ENV, raising=False)
+        assert workloads.prewarm_workload("compress", 1500) == "compress"
+
 
 class TestCacheCounters:
     """Hit/miss accounting consumed by the run metrics stream."""
@@ -152,3 +191,55 @@ class TestCacheCounters:
         snapshot = workloads.cache_counters()
         snapshot["trace_builds"] += 100
         assert workloads.cache_counters() != snapshot
+
+
+class TestTraceChecksum:
+    """Tentpole satellite: cache entries carry a content checksum, so
+    bit-level damage that still unzips is a detected miss, not wrong
+    simulator input."""
+
+    def test_saved_trace_embeds_checksum(self, cache_dir):
+        workloads.load_workload("compress", n_tasks=1500)
+        (path,) = cache_dir.glob("*.npz")
+        with np.load(path) as data:
+            assert "checksum" in data
+
+    def test_tampered_column_is_detected_and_regenerated(self, cache_dir):
+        from repro.errors import TraceError
+        from repro.synth.trace import TaskTrace
+
+        first = workloads.load_workload("compress", n_tasks=1500)
+        (path,) = cache_dir.glob("*.npz")
+
+        # Rewrite the file with one column changed but the stale
+        # checksum kept — simulates silent bit-rot inside the archive.
+        with np.load(path) as data:
+            arrays = {name: data[name].copy() for name in data.files}
+        arrays["exit_index"] = arrays["exit_index"].copy()
+        arrays["exit_index"][0] ^= 1
+        np.savez_compressed(path, **arrays)
+
+        with pytest.raises(TraceError, match="checksum mismatch"):
+            TaskTrace.load(path)
+
+        # The cache layer treats it as a miss and regenerates cleanly.
+        workloads._trace_cache.clear()
+        second = workloads.load_workload("compress", n_tasks=1500)
+        assert np.array_equal(
+            first.trace.exit_index, second.trace.exit_index
+        )
+
+    def test_legacy_file_without_checksum_still_loads(self, cache_dir):
+        from repro.synth.trace import TaskTrace
+
+        workloads.load_workload("compress", n_tasks=1500)
+        (path,) = cache_dir.glob("*.npz")
+        with np.load(path) as data:
+            arrays = {
+                name: data[name].copy()
+                for name in data.files
+                if name != "checksum"
+            }
+        np.savez_compressed(path, **arrays)
+        trace = TaskTrace.load(path)  # unverified, but not rejected
+        assert len(trace) == 1500
