@@ -17,17 +17,24 @@ from __future__ import annotations
 import json
 import time
 
+from repro.evalx.experiments.common import BENCHMARKS
+from repro.evalx.experiments.table4 import SCHEMES, _make_predictor
 from repro.evalx.registry import run_experiment
+from repro.predictors.folding import DolcSpec
 from repro.predictors.ideal import (
     IdealGlobalPredictor,
     IdealPathPredictor,
     IdealPerTaskPredictor,
 )
+from repro.predictors.speculative import SpeculativePathPredictor
 from repro.predictors.ttb import IdealCorrelatedTargetBuffer
 from repro.sim.functional import (
     simulate_exit_prediction,
     simulate_indirect_target_prediction,
 )
+from repro.sim.relaxed import simulate_speculative_exit_prediction
+from repro.sim.timing import TimingConfig, simulate_timing
+from repro.sim.timing.detailed import simulate_timing_detailed
 from repro.synth.workloads import load_workload
 
 _TASKS = 100_000
@@ -98,6 +105,92 @@ def test_target_kernel_speedup():
         total_slow += slow
         total_fast += fast
     _report("target_kernel[gcc-100k]", total_slow, total_fast)
+
+
+def test_table4_sweep_speedup():
+    """Full Table 4 grid — realistic predictors through the timing model.
+
+    5 benchmarks x 5 schemes (Simple/GLOBAL/PER/PATH/Perfect), scalar
+    reference loop vs the batched kernels. Two vectorized timings are
+    reported: *cold* pays the one-time per-trace derived-column builds
+    (header tables, history columns, timing cycle columns), *warm* shows
+    the steady-state cost once the memo caches hold them — the number a
+    long sweep with repeated traces actually sees.
+    """
+    def sweep(vectorize: bool) -> dict:
+        results = {}
+        for name in BENCHMARKS:
+            workload = load_workload(name, n_tasks=_TASKS)
+            for scheme in SCHEMES:
+                predictor = _make_predictor(scheme, workload)
+                results[(name, scheme)] = simulate_timing(
+                    workload, predictor, vectorize=vectorize
+                )
+        return results
+
+    serial, serial_s = _time(lambda: sweep(False))
+    cold, cold_s = _time(lambda: sweep(True))
+    warm, warm_s = _time(lambda: sweep(True))
+    assert cold == serial
+    assert warm == serial
+    _report("table4_sweep_cold[100k]", serial_s, cold_s)
+    _report("table4_sweep_warm[100k]", serial_s, warm_s)
+
+
+def test_speculative_repair_speedup():
+    """Speculative-history path predictor, perfect repair, batched replay.
+
+    The batched path evaluates the run as a PHT replay over the
+    committed stream plus a level-synchronous wrong-path walk; the
+    stepped loop mutates predictor state task by task. A fresh predictor
+    is built per run — the stepped loop trains it in place.
+    """
+    workload = load_workload("gcc", n_tasks=_TASKS)
+    spec = DolcSpec.parse("7-5-7-8(3)")
+    total_slow = total_fast = 0.0
+    for depth in (0, 4):
+        looped, slow = _time(
+            lambda: simulate_speculative_exit_prediction(
+                workload, SpeculativePathPredictor(spec),
+                wrong_path_depth=depth, vectorize=False,
+            )
+        )
+        batched, fast = _time(
+            lambda: simulate_speculative_exit_prediction(
+                workload, SpeculativePathPredictor(spec),
+                wrong_path_depth=depth, vectorize=True,
+            )
+        )
+        assert batched == looped
+        total_slow += slow
+        total_fast += fast
+    _report("speculative_perfect[gcc-100k]", total_slow, total_fast)
+
+
+def test_detailed_timing_event_compression():
+    """Cycle-stepped model with event-compressed advance vs full stepping.
+
+    Long tasks (high startup, narrow issue) leave many event-free cycles
+    between dispatches, which the compressed advance jumps in one
+    accounting step. Both modes run identical phase code at event
+    cycles, so the results compare equal field for field.
+    """
+    workload = load_workload("gcc", n_tasks=8_000)
+    config = TimingConfig(task_startup_cycles=16, issue_width=2)
+    predictor_a = _make_predictor("PATH", workload)
+    predictor_b = _make_predictor("PATH", workload)
+    stepped, slow = _time(
+        lambda: simulate_timing_detailed(
+            workload, predictor_a, config=config, vectorize=False
+        )
+    )
+    compressed, fast = _time(
+        lambda: simulate_timing_detailed(
+            workload, predictor_b, config=config, vectorize=True
+        )
+    )
+    assert compressed == stepped
+    _report("detailed_event_skip[gcc-8k]", slow, fast)
 
 
 def test_jobs_speedup():

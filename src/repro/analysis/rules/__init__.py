@@ -8,6 +8,7 @@ registry (see :func:`repro.analysis.core.register_rule`):
 * :mod:`repro.analysis.rules.protocol` — ``PROT001..PROT003``
 * :mod:`repro.analysis.rules.bitwidth` — ``NPW001..NPW003``
 * :mod:`repro.analysis.rules.checkpointing` — ``CKP001..CKP002``
+* :mod:`repro.analysis.rules.vectorization` — ``VEC001..VEC002``
 """
 
 from repro.analysis.rules import (  # noqa: F401  (register on import)
@@ -16,4 +17,5 @@ from repro.analysis.rules import (  # noqa: F401  (register on import)
     determinism,
     protocol,
     purity,
+    vectorization,
 )

@@ -18,6 +18,8 @@ from __future__ import annotations
 import abc
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
 from repro.isa.controlflow import MAX_EXITS_PER_TASK
 from repro.utils.rng import DeterministicRng
@@ -39,6 +41,17 @@ class MultiwayAutomaton(abc.ABC):
     def bits_per_entry(cls_or_self) -> int:
         """Storage cost of one PHT entry, in bits."""
 
+    def state_key(self) -> tuple | None:
+        """Hashable snapshot of the automaton's state, or None.
+
+        Two automata with equal keys must behave identically forever —
+        the contract :func:`tabulate_automaton` relies on to enumerate
+        the reachable state space. Return None when the state cannot be
+        captured (e.g. it includes a shared random stream), which makes
+        the automaton non-tabulatable.
+        """
+        return None
+
 
 class LastExit(MultiwayAutomaton):
     """Predict whatever exit was taken last time this entry was used (LE).
@@ -57,6 +70,9 @@ class LastExit(MultiwayAutomaton):
 
     def update(self, actual: int) -> None:
         self._last = actual
+
+    def state_key(self) -> tuple:
+        return (self._last,)
 
     @classmethod
     def bits_per_entry(cls) -> int:
@@ -94,6 +110,9 @@ class LastExitHysteresis(MultiwayAutomaton):
         else:
             self._exit = actual
             self._confidence = 0
+
+    def state_key(self) -> tuple:
+        return (self._exit, self._confidence)
 
     def bits_per_entry(self) -> int:
         return 2 + self._bits
@@ -151,6 +170,14 @@ class VotingCounters(MultiwayAutomaton):
                 counters[i] -= 1
         self._mru = actual
 
+    def state_key(self) -> tuple | None:
+        # The random tie-break draws from a stream shared across every
+        # entry of the predictor, so a per-entry key cannot capture its
+        # behaviour; only the MRU variant tabulates.
+        if self._tie_break != "mru":
+            return None
+        return (*self._counters, self._mru)
+
     def bits_per_entry(self) -> int:
         mru_bits = 2 if self._tie_break == "mru" else 0
         return MAX_EXITS_PER_TASK * self._bits + mru_bits
@@ -192,4 +219,81 @@ def make_automaton_factory(
         return lambda: VotingCounters(bits, tie_break="random", rng=rng)
     raise PredictorConfigError(
         f"unknown automaton {spec!r}; known: {AUTOMATON_SPECS}"
+    )
+
+
+class AutomatonTable:
+    """Exact tabular form of an automaton's reachable state space.
+
+    ``transitions[s, x]`` is the next state from state ``s`` on training
+    input ``x``; ``predictions[s]`` is what state ``s`` predicts. State 0
+    is the freshly constructed automaton. Produced by
+    :func:`tabulate_automaton` for the segmented FSM scans in
+    :mod:`repro.utils.scan`.
+    """
+
+    __slots__ = ("transitions", "predictions")
+
+    def __init__(self, transitions, predictions) -> None:
+        self.transitions = transitions
+        self.predictions = predictions
+
+    @property
+    def n_states(self) -> int:
+        """Reachable states, including the initial one."""
+        return len(self.predictions)
+
+
+def tabulate_automaton(
+    factory: Callable[[], MultiwayAutomaton],
+    n_inputs: int,
+    max_states: int = 64,
+) -> AutomatonTable | None:
+    """Enumerate an automaton's state machine by probing a live instance.
+
+    Breadth-first search from the freshly constructed state: every
+    reachable state is reproduced by replaying its discovery input
+    sequence on a new instance, then probed with each input in
+    ``range(n_inputs)``. Keying on :meth:`MultiwayAutomaton.state_key`
+    (rather than modelling the update rule separately) makes the table
+    bit-identical to the object by construction.
+
+    Returns None when the automaton declines tabulation (``state_key() is
+    None``) or the reachable space exceeds ``max_states`` — the callers
+    then fall back to object-at-a-time replay.
+    """
+    if factory().state_key() is None:
+        return None
+
+    def replay(sequence: tuple[int, ...]) -> MultiwayAutomaton:
+        automaton = factory()
+        for value in sequence:
+            automaton.update(value)
+        return automaton
+
+    recipes: list[tuple[int, ...]] = [()]
+    ids: dict[tuple, int] = {factory().state_key(): 0}
+    transitions: list[list[int]] = []
+    predictions: list[int] = []
+    cursor = 0
+    while cursor < len(recipes):
+        recipe = recipes[cursor]
+        automaton = replay(recipe)
+        predictions.append(automaton.predict())
+        row = []
+        for value in range(n_inputs):
+            successor = replay(recipe + (value,))
+            key = successor.state_key()
+            state = ids.get(key)
+            if state is None:
+                if len(recipes) >= max_states:
+                    return None
+                state = ids[key] = len(recipes)
+                recipes.append(recipe + (value,))
+            row.append(state)
+        transitions.append(row)
+        cursor += 1
+    return AutomatonTable(
+        transitions=np.array(transitions, dtype=np.int8),
+        predictions=np.array(predictions, dtype=np.int64),
     )

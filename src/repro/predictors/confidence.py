@@ -21,10 +21,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
 from repro.predictors.base import ExitPredictor
 from repro.predictors.folding import DolcSpec
 from repro.synth.workloads import Workload
+from repro.utils.scan import MAX_SCAN_STATES, segmented_fsm_scan
+from repro.utils.memo import int64_column
 
 
 class ResettingConfidenceEstimator:
@@ -85,6 +89,34 @@ class ResettingConfidenceEstimator:
         bits_per_counter = max(1, self._counter_max.bit_length())
         return self._spec.table_entries * bits_per_counter
 
+    def batch_gate_columns(
+        self, task_addrs: np.ndarray, correct: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-step high-confidence flags for a whole prediction run.
+
+        ``correct[i]`` is the outcome fed to ``update`` at step ``i``;
+        the returned boolean column holds what ``is_high_confidence``
+        would have answered just before that update. The counter table is
+        a family of tiny reset/saturate automata, so the whole run is one
+        segmented FSM scan over the path-indexed slots. Only valid for a
+        freshly constructed estimator; the object is not mutated. Returns
+        None when the counter range is too wide to tabulate.
+        """
+        n_states = self._counter_max + 1
+        if n_states > MAX_SCAN_STATES:
+            return None
+        addrs = int64_column(task_addrs)
+        slots = self._spec.index_column(addrs)
+        transitions = np.empty((n_states, 2), dtype=np.int8)
+        transitions[:, 0] = 0  # a miss resets the counter
+        transitions[:, 1] = np.minimum(
+            np.arange(n_states) + 1, self._counter_max
+        )
+        pre_counts = segmented_fsm_scan(
+            slots, int64_column(correct), transitions
+        )
+        return pre_counts >= self._threshold
+
 
 @dataclass(frozen=True)
 class ConfidenceStats:
@@ -121,9 +153,19 @@ def simulate_confidence(
     predictor: ExitPredictor,
     estimator: ResettingConfidenceEstimator,
     limit: int | None = None,
+    vectorize: bool = True,
 ) -> ConfidenceStats:
-    """Run predictor + estimator over a trace; return quality metrics."""
+    """Run predictor + estimator over a trace; return quality metrics.
+
+    When both the predictor and the estimator advertise exact batched
+    forms, the whole run is evaluated as numpy columns (bit-identical
+    statistics); ``vectorize=False`` forces the step loop.
+    """
     trace = workload.trace if limit is None else workload.trace.head(limit)
+    if vectorize:
+        stats = _batched_confidence_stats(workload, predictor, estimator, trace)
+        if stats is not None:
+            return stats
     n_exits_of = workload.exit_counts()
     task_addrs = trace.task_addr.tolist()
     actual_exits = trace.exit_index.tolist()
@@ -154,5 +196,42 @@ def simulate_confidence(
         high_confidence=high,
         high_correct=high_correct,
         low_confidence=low,
+        low_incorrect=low_incorrect,
+    )
+
+
+def _batched_confidence_stats(
+    workload: Workload,
+    predictor: ExitPredictor,
+    estimator: ResettingConfidenceEstimator,
+    trace,
+) -> ConfidenceStats | None:
+    """Column-wise confidence run, or None without exact batched forms."""
+    # Imported here: the batched drivers live in the simulation layer,
+    # which depends on this package — not the other way around.
+    from repro.sim.functional import (
+        batched_exit_prediction_column,
+        exit_count_column,
+    )
+
+    n_exits_col = exit_count_column(workload, trace.task_addr)
+    predicted = batched_exit_prediction_column(
+        predictor, trace.task_addr, trace.exit_index, n_exits_col
+    )
+    if predicted is None:
+        return None
+    correct = predicted == int64_column(trace.exit_index)
+    confident = estimator.batch_gate_columns(trace.task_addr, correct)
+    if confident is None:
+        return None
+    trials = len(correct)
+    high = int(confident.sum())
+    high_correct = int((confident & correct).sum())
+    low_incorrect = int((~confident & ~correct).sum())
+    return ConfidenceStats(
+        trials=trials,
+        high_confidence=high,
+        high_correct=high_correct,
+        low_confidence=trials - high,
         low_incorrect=low_incorrect,
     )

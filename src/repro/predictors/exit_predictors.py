@@ -28,15 +28,26 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
+from repro.isa.controlflow import MAX_EXITS_PER_TASK
 from repro.predictors.automata import (
+    AutomatonTable,
     MultiwayAutomaton,
     make_automaton_factory,
+    tabulate_automaton,
 )
 from repro.predictors.base import ExitPredictor
 from repro.predictors.folding import DolcSpec
 from repro.predictors.pht import PatternHistoryTable
 from repro.utils.bits import bit_mask, fold_xor
+from repro.utils.memo import DerivedColumnCache, int64_column
+from repro.utils.scan import stable_argsort
+
+#: Per-key history columns per (trace columns, depth/index geometry) —
+#: identical for every PER-scheme predictor swept over one trace.
+_HISTORY_CACHE = DerivedColumnCache()
 
 _ALIGN_SHIFT = 2  # word-aligned task addresses
 
@@ -59,6 +70,74 @@ def _resolve_factory(
     if callable(automaton):
         return automaton
     return make_automaton_factory(automaton)
+
+
+def _fold_column(
+    values: np.ndarray, width: int, index_bits: int
+) -> np.ndarray:
+    """Vectorized :func:`_fold_to` over an int64 column."""
+    if width <= index_bits:
+        return values & bit_mask(index_bits)
+    folds = -(-width // index_bits)  # ceil
+    mask = bit_mask(index_bits)
+    out = np.zeros_like(values)
+    for i in range(folds):
+        np.bitwise_xor(out, (values >> (i * index_bits)) & mask, out=out)
+    return out
+
+
+def _global_history_column(exits: np.ndarray, depth: int) -> np.ndarray:
+    """Global exit-history register contents just before each step.
+
+    The register shifts in every retired exit, so the value read at step
+    ``i`` packs ``exits[i-1]`` into the low 2 bits, ``exits[i-2]`` into
+    the next 2, out to ``depth`` exits back; missing history (cold start)
+    contributes zero bits, matching the register's initial value.
+    """
+    n = len(exits)
+    history = np.zeros(n, dtype=np.int64)
+    for lag in range(1, depth + 1):
+        if lag >= n:
+            break
+        history[lag:] |= exits[:-lag] << (2 * (lag - 1))
+    return history
+
+
+def _per_key_history_column(
+    keys: np.ndarray, exits: np.ndarray, depth: int
+) -> np.ndarray:
+    """Per-key exit-history register contents just before each step.
+
+    Same packing as :func:`_global_history_column`, but each step reads
+    the register selected by ``keys[i]`` — i.e. its history is the trail
+    of exits taken by *earlier steps with the same key*. A stable sort by
+    key makes every register's trail contiguous, so the lagged shifts of
+    the global case apply per segment, guarded by each step's occurrence
+    index so cold registers still read 0.
+    """
+    n = len(keys)
+    history = np.zeros(n, dtype=np.int64)
+    if n == 0 or depth == 0:
+        return history
+    order = stable_argsort(keys)
+    keys_sorted = keys[order]
+    exits_sorted = exits[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = keys_sorted[1:] != keys_sorted[:-1]
+    positions = np.arange(n, dtype=np.int64)
+    segment_start = np.maximum.accumulate(np.where(starts, positions, 0))
+    occurrence = positions - segment_start
+    packed = np.zeros(n, dtype=np.int64)
+    for lag in range(1, depth + 1):
+        if lag >= n:
+            break
+        contribution = np.zeros(n, dtype=np.int64)
+        contribution[lag:] = exits_sorted[:-lag] << (2 * (lag - 1))
+        contribution[occurrence < lag] = 0
+        packed |= contribution
+    history[order] = packed
+    return history
 
 
 class PathExitPredictor(ExitPredictor):
@@ -112,6 +191,26 @@ class PathExitPredictor(ExitPredictor):
 
     def storage_bits(self) -> int:
         return self._pht.storage_bits()
+
+    def batch_plan(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> tuple[np.ndarray, AutomatonTable] | None:
+        """Plan a vectorized run: ``(per-step PHT indices, automaton table)``.
+
+        Same contract as the ideal predictors' ``batch_plan`` (see
+        :mod:`repro.predictors.ideal`): only valid for a freshly
+        constructed predictor, and None when the automaton cannot be
+        tabulated or single-exit tasks train the table. The path register
+        shifts on every retired task, so the per-step indices are exactly
+        :meth:`DolcSpec.index_column` over the full address column.
+        """
+        if self._update_on_single_exit:
+            return None
+        table = tabulate_automaton(self._pht.factory, MAX_EXITS_PER_TASK)
+        if table is None:
+            return None
+        addrs = int64_column(task_addrs)
+        return self._spec.index_column(addrs), table
 
 
 class SimpleExitPredictor(PathExitPredictor):
@@ -183,6 +282,34 @@ class GlobalExitPredictor(ExitPredictor):
     def storage_bits(self) -> int:
         return self._pht.storage_bits() + 2 * self._depth
 
+    def batch_plan(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> tuple[np.ndarray, AutomatonTable] | None:
+        """Plan a vectorized run: ``(per-step PHT indices, automaton table)``.
+
+        Same fresh-predictor contract as :meth:`PathExitPredictor.batch_plan`.
+        The history register shifts on every update, so each step's index
+        folds the register state built from *all* preceding exits.
+        """
+        if self._update_on_single_exit:
+            return None
+        if 2 * self._depth + self._index_bits > 62:
+            return None  # combined key would not fit an int64 column
+        table = tabulate_automaton(self._pht.factory, MAX_EXITS_PER_TASK)
+        if table is None:
+            return None
+        addrs = int64_column(task_addrs)
+        addr_bits = (addrs >> _ALIGN_SHIFT) & bit_mask(self._index_bits)
+        if not self._depth:
+            return addr_bits, table
+        exits = int64_column(actual_exits)
+        history = _global_history_column(exits, self._depth)
+        combined = (history << self._index_bits) | addr_bits
+        indices = _fold_column(
+            combined, 2 * self._depth + self._index_bits, self._index_bits
+        )
+        return indices, table
+
 
 class PerTaskExitPredictor(ExitPredictor):
     """Per-task exit history predictor (PER of §5.2), finite tables.
@@ -249,3 +376,36 @@ class PerTaskExitPredictor(ExitPredictor):
     def storage_bits(self) -> int:
         hrt_bits = (1 << self._hrt_index_bits) * 2 * self._depth
         return self._pht.storage_bits() + hrt_bits
+
+    def batch_plan(
+        self, task_addrs: np.ndarray, actual_exits: np.ndarray
+    ) -> tuple[np.ndarray, AutomatonTable] | None:
+        """Plan a vectorized run: ``(per-step PHT indices, automaton table)``.
+
+        Same fresh-predictor contract as :meth:`PathExitPredictor.batch_plan`.
+        Each step reads the history register its task address selects, so
+        the history column is computed per HRT slot.
+        """
+        if self._update_on_single_exit:
+            return None
+        if 2 * self._depth + self._index_bits > 62:
+            return None  # combined key would not fit an int64 column
+        table = tabulate_automaton(self._pht.factory, MAX_EXITS_PER_TASK)
+        if table is None:
+            return None
+        addrs = int64_column(task_addrs)
+        addr_bits = (addrs >> _ALIGN_SHIFT) & bit_mask(self._index_bits)
+        if not self._depth:
+            return addr_bits, table
+        keys = (addrs >> _ALIGN_SHIFT) & bit_mask(self._hrt_index_bits)
+        exits = int64_column(actual_exits)
+        history = _HISTORY_CACHE.get(
+            (task_addrs, actual_exits),
+            ("per-history", self._depth, self._hrt_index_bits),
+            lambda: _per_key_history_column(keys, exits, self._depth),
+        )
+        combined = (history << self._index_bits) | addr_bits
+        indices = _fold_column(
+            combined, 2 * self._depth + self._index_bits, self._index_bits
+        )
+        return indices, table

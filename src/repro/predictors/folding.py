@@ -22,8 +22,15 @@ import re
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
 from repro.utils.bits import bit_mask, fold_xor
+from repro.utils.memo import DerivedColumnCache, int64_column
+
+#: Path-index columns per (trace address column, spec) — every predictor
+#: sharing a spec over the same trace reuses one folded column.
+_INDEX_COLUMN_CACHE = DerivedColumnCache()
 
 _SPEC_RE = re.compile(
     r"^\s*(\d+)-(\d+)-(\d+)-(\d+)\s*\(\s*(\d+)\s*\)\s*$"
@@ -136,6 +143,68 @@ class DolcSpec:
                         intermediate |= older << position
                     position += self.older_bits
         return fold_xor(intermediate, self.intermediate_bits, self.folds)
+
+    def index_column(self, task_addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index` over a whole trace at once.
+
+        ``task_addrs[i]`` is the current address of step ``i`` and its
+        path is ``task_addrs[:i]`` — the layout of every predictor that
+        shifts each retired task into its path register. Returns the
+        int64 column of folded table indices, bit-identical to calling
+        :meth:`index` per step with a growing path.
+
+        Instead of materialising the up-to-63-bit intermediate index,
+        each contribution is folded *incrementally*: bits destined for
+        absolute position ``p`` of the intermediate index land XORed at
+        ``p mod index_bits`` of the output, which is algebraically the
+        same fold and keeps every array operation inside int64.
+
+        The result is memoised per (address column, spec): a sweep that
+        runs several predictors with one spec over one trace folds the
+        column once. The returned array is shared — do not mutate it.
+        """
+        return _INDEX_COLUMN_CACHE.get(
+            (task_addrs,), self, lambda: self._index_column(task_addrs)
+        )
+
+    def _index_column(self, task_addrs: np.ndarray) -> np.ndarray:
+        addrs = int64_column(task_addrs) >> _ALIGN_SHIFT
+        n = len(addrs)
+        out = np.zeros(n, dtype=np.int64)
+        field_width = self.index_bits
+
+        def fold_in(values: np.ndarray, width: int, position: int) -> None:
+            # XOR a width-bit contribution at intermediate-index offset
+            # ``position`` into the folded output, splitting it wherever
+            # it straddles a fold boundary.
+            remaining, shift = width, position
+            chunk = values
+            while remaining > 0:
+                offset = shift % field_width
+                take = min(field_width - offset, remaining)
+                np.bitwise_xor(
+                    out, (chunk & bit_mask(take)) << offset, out=out
+                )
+                chunk = chunk >> take
+                shift += take
+                remaining -= take
+
+        fold_in(addrs & bit_mask(self.current_bits), self.current_bits, 0)
+        position = self.current_bits
+        if self.depth >= 1:
+            lagged = np.zeros(n, dtype=np.int64)
+            lagged[1:] = addrs[:-1] & bit_mask(self.last_bits)
+            fold_in(lagged, self.last_bits, position)
+            position += self.last_bits
+            if self.older_bits:
+                older_mask = bit_mask(self.older_bits)
+                for back in range(2, self.depth + 1):
+                    lagged = np.zeros(n, dtype=np.int64)
+                    if back < n:
+                        lagged[back:] = addrs[:-back] & older_mask
+                    fold_in(lagged, self.older_bits, position)
+                    position += self.older_bits
+        return out
 
     def __str__(self) -> str:
         return (

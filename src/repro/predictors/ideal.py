@@ -25,13 +25,15 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.errors import PredictorConfigError
+from repro.isa.controlflow import MAX_EXITS_PER_TASK
 from repro.predictors.automata import (
-    LastExit,
-    LastExitHysteresis,
+    AutomatonTable,
     MultiwayAutomaton,
     make_automaton_factory,
+    tabulate_automaton,
 )
 from repro.predictors.base import ExitPredictor
+from repro.utils.memo import int64_column
 from repro.utils.windows import (
     group_by_global_history,
     group_by_path,
@@ -107,32 +109,29 @@ class _IdealPredictorBase(ExitPredictor):
 
     def batch_plan(
         self, task_addrs: np.ndarray, actual_exits: np.ndarray
-    ) -> tuple[np.ndarray, int] | None:
-        """Plan a vectorized run: ``(per-step key ids, hysteresis bits)``.
+    ) -> tuple[np.ndarray, AutomatonTable] | None:
+        """Plan a vectorized run: ``(per-step key ids, automaton table)``.
 
         The batched exit-prediction kernel in
         :mod:`repro.sim.functional` uses the dense key ids in place of
-        this predictor's key tuples, and replays LE/LEH automaton
-        semantics itself. Returns None when the configuration has no
-        exact batched equivalent (voting-counter automata, or updating on
-        single-exit tasks), in which case the caller falls back to the
-        step-by-step loop. Only valid for a freshly constructed predictor:
-        the kernel does not read or write ``self._table``.
+        this predictor's key tuples and replays the automaton through
+        its tabulated state machine. Returns None when the configuration
+        has no exact batched equivalent (automata whose state cannot be
+        tabulated, or updating on single-exit tasks), in which case the
+        caller falls back to the step-by-step loop. Only valid for a
+        freshly constructed predictor: the kernel does not read or write
+        ``self._table``.
         """
         if self._update_on_single_exit:
             return None
-        probe = self._factory()
-        if type(probe) is LastExitHysteresis:
-            hysteresis_bits = probe.bits_per_entry() - 2
-        elif type(probe) is LastExit:
-            hysteresis_bits = 0
-        else:
+        table = tabulate_automaton(self._factory, MAX_EXITS_PER_TASK)
+        if table is None:
             return None
         ids = self._batch_group_ids(
-            np.asarray(task_addrs, dtype=np.int64),
-            np.asarray(actual_exits, dtype=np.int64),
+            int64_column(task_addrs),
+            int64_column(actual_exits),
         )
-        return ids, hysteresis_bits
+        return ids, table
 
 
 class IdealGlobalPredictor(_IdealPredictorBase):

@@ -3,14 +3,28 @@
 Entries are created lazily — untouched indices cost nothing in simulation
 and the number of touched entries is itself a measured quantity (Figure 11).
 Hardware storage accounting always charges the full table, of course.
+
+Two representations coexist:
+
+* :class:`PatternHistoryTable` — the object-per-entry reference used by
+  the step-by-step simulators.
+* :class:`PackedPatternTable` — a struct-of-arrays twin for the batched
+  kernels: all entry state lives in one flat int8 column (one tabulated
+  automaton state id per touched entry), advanced whole-trace-at-a-time
+  by the segmented FSM scan. Bit-identical to the reference by
+  construction, since its transition table is enumerated from live
+  automaton objects.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.errors import PredictorConfigError
-from repro.predictors.automata import MultiwayAutomaton
+from repro.predictors.automata import AutomatonTable, MultiwayAutomaton
+from repro.utils.scan import final_fsm_states, segmented_fsm_scan
 
 
 class PatternHistoryTable:
@@ -31,6 +45,11 @@ class PatternHistoryTable:
     def index_bits(self) -> int:
         """Width of the table index."""
         return self._index_bits
+
+    @property
+    def factory(self) -> Callable[[], MultiwayAutomaton]:
+        """The automaton factory populating new entries."""
+        return self._factory
 
     @property
     def n_entries(self) -> int:
@@ -55,3 +74,69 @@ class PatternHistoryTable:
     def storage_bits(self) -> int:
         """Full-capacity storage cost in bits."""
         return self.n_entries * self._factory().bits_per_entry()
+
+
+class PackedPatternTable:
+    """Struct-of-arrays PHT: one int8 automaton-state id per entry.
+
+    Entries are addressed by *dense group ids* (``0..n_groups-1``), the
+    factorized form of whatever index the owning predictor computes.
+    State advances in whole-trace batches through :meth:`replay`; calling
+    it several times over consecutive trace slices yields exactly the
+    states a single call over the concatenation would — which is what
+    makes checkpoint-resumed batched runs bit-identical to straight ones.
+    """
+
+    def __init__(self, table: AutomatonTable, n_groups: int) -> None:
+        if n_groups < 0:
+            raise PredictorConfigError("need n_groups >= 0")
+        self._table = table
+        self._states = np.zeros(n_groups, dtype=np.int64)
+        self._touched = np.zeros(n_groups, dtype=bool)
+
+    @property
+    def table(self) -> AutomatonTable:
+        """The tabulated automaton driving every entry."""
+        return self._table
+
+    @property
+    def state_column(self) -> np.ndarray:
+        """Current per-entry automaton state ids (read-only view)."""
+        view = self._states.view()
+        view.flags.writeable = False
+        return view
+
+    def replay(
+        self, group_ids: np.ndarray, inputs: np.ndarray
+    ) -> np.ndarray:
+        """Advance every touched entry through a trace slice.
+
+        Returns the pre-update state of each step's entry — the state
+        its prediction reads — and leaves the column holding the
+        post-trace states, ready for the next slice.
+        """
+        pre_states = segmented_fsm_scan(
+            group_ids,
+            inputs,
+            self._table.transitions,
+            initial_states=self._states,
+        )
+        self._states = final_fsm_states(
+            group_ids,
+            inputs,
+            self._table.transitions,
+            pre_states,
+            len(self._states),
+            initial_states=self._states,
+        )
+        if len(group_ids):
+            self._touched[group_ids] = True
+        return pre_states
+
+    def predictions_of(self, states: np.ndarray) -> np.ndarray:
+        """Predicted exit of each state id in ``states``."""
+        return self._table.predictions[states]
+
+    def states_touched(self) -> int:
+        """Distinct entries exercised so far (Figure 11's metric)."""
+        return int(self._touched.sum())

@@ -88,6 +88,11 @@ class SpeculativePathPredictor:
         """The history-repair policy in force."""
         return self._repair
 
+    @property
+    def pht_factory(self):
+        """The automaton factory populating PHT entries (for batching)."""
+        return self._pht.factory
+
     def predict(self, task_addr: int, n_exits: int) -> int:
         """Predict the exit and speculatively advance the path register."""
         index = self._spec.index(task_addr, self._path)

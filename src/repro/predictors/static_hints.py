@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import PredictorConfigError
 from repro.predictors.base import ExitPredictor
 from repro.synth.trace import TaskTrace
+from repro.utils.memo import int64_column
 
 
 class StaticHintExitPredictor(ExitPredictor):
@@ -82,7 +83,7 @@ class StaticHintExitPredictor(ExitPredictor):
         functional simulator uses this column instead of its per-step
         loop.
         """
-        addrs = np.asarray(task_addrs, dtype=np.int64)
+        addrs = int64_column(task_addrs)
         if self._hints:
             keys = np.fromiter(
                 self._hints.keys(), dtype=np.int64, count=len(self._hints)
@@ -99,7 +100,7 @@ class StaticHintExitPredictor(ExitPredictor):
         else:
             hints = np.zeros(len(addrs), dtype=np.int64)
         return np.minimum(
-            hints, np.asarray(n_exits_col, dtype=np.int64) - 1
+            hints, int64_column(n_exits_col) - 1
         )
 
     def update(self, task_addr: int, n_exits: int, actual_exit: int) -> None:

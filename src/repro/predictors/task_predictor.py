@@ -16,6 +16,8 @@ type competing for its entries and no RAS possible — cheaper to sequence,
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PredictorConfigError, SimulationError
 from repro.isa.controlflow import ControlFlowType
 from repro.isa.program import MultiscalarProgram
@@ -23,14 +25,146 @@ from repro.predictors.base import ExitPredictor, NextTaskPredictor
 from repro.predictors.ras import ReturnAddressStack
 from repro.predictors.ttb import CorrelatedTaskTargetBuffer
 from repro.synth.trace import CF_TYPE_CODES, TaskTrace
+from repro.utils.memo import DerivedColumnCache, int64_column
+from repro.utils.scan import stable_argsort
+
+#: Columns derived from (trace, program) pairs that every scheme in a
+#: sweep re-derives identically: header tables, the actual call/return
+#: stack timeline, target-buffer entry timelines.
+_DERIVED = DerivedColumnCache()
 
 _CF_RETURN = CF_TYPE_CODES[ControlFlowType.RETURN]
 _CF_CALL = CF_TYPE_CODES[ControlFlowType.CALL]
 _CF_ICALL = CF_TYPE_CODES[ControlFlowType.INDIRECT_CALL]
 _CF_IBRANCH = CF_TYPE_CODES[ControlFlowType.INDIRECT_BRANCH]
 
+#: Hysteresis bound of a target-buffer entry (mirrors ``ttb._COUNTER_MAX``).
+_TARGET_COUNTER_MAX = 3
+
 #: Sentinel predicted address when no structure can supply a target.
 NO_PREDICTION = 0
+
+
+def _cttb_pretarget_column(
+    slot_ids: np.ndarray,
+    writes: np.ndarray,
+    actual_targets: np.ndarray,
+) -> np.ndarray:
+    """Per-step target the buffer would predict, before that step trains.
+
+    The training stream (``writes`` rows, in trace order) is replayed
+    once through the hysteresis rule, recording each entry's stored
+    target after every write; a grouped forward-fill then assigns every
+    step the last value written to its slot strictly earlier — exactly
+    what a read at that step would observe, for *any* read mask. Rows
+    whose slot was never written resolve to :data:`NO_PREDICTION`.
+    """
+    n = len(slot_ids)
+    write_rows = np.flatnonzero(writes)
+    target_after = np.zeros(n, dtype=np.int64)
+    target_of: dict[int, int] = {}
+    counter_of: dict[int, int] = {}
+    stored_targets: list[int] = []
+    record = stored_targets.append
+    for slot, actual in zip(
+        slot_ids[write_rows].tolist(),
+        actual_targets[write_rows].tolist(),
+    ):
+        stored = target_of.get(slot)
+        if stored is None:
+            target_of[slot] = actual
+            counter_of[slot] = 1
+        elif actual == stored:
+            if counter_of[slot] < _TARGET_COUNTER_MAX:
+                counter_of[slot] += 1
+        elif counter_of[slot] > 0:
+            counter_of[slot] -= 1
+        else:
+            target_of[slot] = actual
+            counter_of[slot] = 1
+        record(target_of[slot])
+    target_after[write_rows] = stored_targets
+
+    # Grouped forward-fill: sort by slot (stable, so trace order holds
+    # within a slot), encode (segment, write position + 1) so one running
+    # maximum finds the latest earlier write without crossing segments.
+    order = stable_argsort(slot_ids)
+    sorted_slots = slot_ids[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_slots[1:] != sorted_slots[:-1]
+    segment = np.cumsum(starts, dtype=np.int64) - 1
+    stride = np.int64(n + 1)
+    write_pos = np.where(
+        writes[order], np.arange(1, n + 1, dtype=np.int64), 0
+    )
+    run = np.maximum.accumulate(segment * stride + write_pos)
+    prev = np.empty(n, dtype=np.int64)
+    prev[0] = -1
+    prev[1:] = run[:-1]
+    last_write = prev - segment * stride  # 1-based, <= 0 when none
+    source = order[np.maximum(last_write, 1) - 1]
+    pre_sorted = np.where(
+        last_write >= 1, target_after[source], NO_PREDICTION
+    )
+    pre = np.empty(n, dtype=np.int64)
+    pre[order] = pre_sorted
+    return pre
+
+
+def _ras_timeline(
+    cf_codes: np.ndarray,
+    return_col: np.ndarray,
+    depth: int,
+    addrs: np.ndarray,
+    actual_exits: np.ndarray,
+) -> np.ndarray:
+    """Top of the return-address stack just before every step.
+
+    Replays the *actual* call/return stream (scheme-independent: the RAS
+    trains on committed control flow) through an inlined circular stack,
+    recording the stack top after each event; a cumulative-count gather
+    expands that to a per-step column. ``addrs`` / ``actual_exits`` only
+    feed the error message for a call exit with no return address.
+    """
+    writes = (
+        (cf_codes == _CF_RETURN)
+        | (cf_codes == _CF_CALL)
+        | (cf_codes == _CF_ICALL)
+    )
+    write_rows = np.flatnonzero(writes)
+    top_values: list[int] = [NO_PREDICTION]
+    record = top_values.append
+    entries = [0] * depth
+    top = 0
+    count = 0
+    is_return = _CF_RETURN
+    for row, cf_code, return_addr in zip(
+        write_rows.tolist(),
+        cf_codes[write_rows].tolist(),
+        return_col[write_rows].tolist(),
+    ):
+        if cf_code == is_return:
+            if count:
+                top = top - 1 if top else depth - 1
+                count -= 1
+        else:
+            if return_addr < 0:
+                raise SimulationError(
+                    f"call exit {int(actual_exits[row])} of task "
+                    f"{int(addrs[row]):#x} has no return address "
+                    "in its header"
+                )
+            entries[top] = return_addr
+            top += 1
+            if top == depth:
+                top = 0
+            if count < depth:
+                count += 1
+        record(entries[top - 1] if count else NO_PREDICTION)
+    tops = np.array(top_values, dtype=np.int64)
+    events_before = np.cumsum(writes, dtype=np.int64) - writes
+    return tops[events_before]
 
 
 class _TaskInfo:
@@ -58,6 +192,75 @@ def _build_task_info(program: MultiscalarProgram) -> dict[int, _TaskInfo]:
     return info
 
 
+class _TaskTable:
+    """Header facts as 2-D columns, for batched address resolution.
+
+    Row order is sorted task address, so trace addresses map to rows with
+    one ``searchsorted``. Absent targets / return addresses (exits whose
+    type carries none) are stored as ``NO_PREDICTION`` / ``-1``. Built
+    straight from the program — the scalar path's per-task dict is never
+    needed when only batched runs happen.
+    """
+
+    __slots__ = ("addrs", "cf_codes", "targets", "return_addrs")
+
+    def __init__(self, program: MultiscalarProgram) -> None:
+        tasks = sorted(program.tfg, key=lambda task: task.address)
+        self.addrs = np.array(
+            [task.address for task in tasks], dtype=np.int64
+        )
+        # One flat pass over every exit, scattered into the 2-D columns
+        # with a single fancy-indexed store per column — much cheaper
+        # than building a padded row list per task.
+        flat = [e for task in tasks for e in task.header.exits]
+        n_flat = len(flat)
+        lengths = np.fromiter(
+            (len(task.header.exits) for task in tasks),
+            dtype=np.int64,
+            count=len(tasks),
+        )
+        max_exits = int(lengths.max()) if len(tasks) else 1
+        rows = np.repeat(np.arange(len(tasks), dtype=np.int64), lengths)
+        row_starts = np.cumsum(lengths) - lengths
+        cols = np.arange(n_flat, dtype=np.int64) - row_starts[rows]
+        codes = CF_TYPE_CODES
+        shape = (len(self.addrs), max_exits)
+        self.cf_codes = np.zeros(shape, dtype=np.int64)
+        self.cf_codes[rows, cols] = np.fromiter(
+            (codes[e.cf_type] for e in flat), dtype=np.int64, count=n_flat
+        )
+        self.targets = np.full(shape, NO_PREDICTION, dtype=np.int64)
+        self.targets[rows, cols] = np.fromiter(
+            (
+                NO_PREDICTION if e.target is None else e.target
+                for e in flat
+            ),
+            dtype=np.int64,
+            count=n_flat,
+        )
+        self.return_addrs = np.full(shape, -1, dtype=np.int64)
+        self.return_addrs[rows, cols] = np.fromiter(
+            (
+                -1 if e.return_address is None else e.return_address
+                for e in flat
+            ),
+            dtype=np.int64,
+            count=n_flat,
+        )
+
+    def rows_of(self, task_addrs: np.ndarray) -> np.ndarray:
+        """Table row of each trace step; raises on unknown addresses."""
+        rows = np.searchsorted(self.addrs, task_addrs)
+        rows = np.minimum(rows, len(self.addrs) - 1)
+        bad = np.flatnonzero(self.addrs[rows] != task_addrs)
+        if bad.size:
+            raise SimulationError(
+                f"no task at {int(task_addrs[bad[0]]):#x} in the "
+                "predictor's program"
+            )
+        return rows
+
+
 class HeaderTaskPredictor(NextTaskPredictor):
     """Exit predictor + header targets + RAS + CTTB (the paper's design)."""
 
@@ -68,7 +271,8 @@ class HeaderTaskPredictor(NextTaskPredictor):
         cttb: CorrelatedTaskTargetBuffer,
         ras: ReturnAddressStack | None = None,
     ) -> None:
-        self._info = _build_task_info(program)
+        self._program = program
+        self._info_cache: dict[int, _TaskInfo] | None = None
         self._exit_predictor = exit_predictor
         self._cttb = cttb
         self._ras = ras if ras is not None else ReturnAddressStack(depth=32)
@@ -78,6 +282,19 @@ class HeaderTaskPredictor(NextTaskPredictor):
     def exit_predictor(self) -> ExitPredictor:
         """The exit-choice component."""
         return self._exit_predictor
+
+    @property
+    def _info(self) -> dict[int, _TaskInfo]:
+        # Built lazily: batched runs resolve headers through _TaskTable
+        # columns and never need the per-task dict of the stepped path.
+        info = self._info_cache
+        if info is None:
+            program = self._program
+            info = _DERIVED.get(
+                (program,), "task-info", lambda: _build_task_info(program)
+            )
+            self._info_cache = info
+        return info
 
     def _task(self, task_addr: int) -> _TaskInfo:
         try:
@@ -137,6 +354,83 @@ class HeaderTaskPredictor(NextTaskPredictor):
             + self._ras.storage_bits()
         )
 
+    def batch_predicted_addrs(
+        self,
+        task_addrs: np.ndarray,
+        predicted_exits: np.ndarray | None,
+        actual_exits: np.ndarray,
+        cf_codes: np.ndarray,
+        next_addrs: np.ndarray,
+    ) -> np.ndarray | None:
+        """Full per-step predicted-address column, or None.
+
+        ``predicted_exits`` is the exit predictor's batched output (see
+        :func:`repro.sim.functional.batched_exit_prediction_column`); the
+        remaining columns are the trace's actual outcomes, which drive
+        RAS and CTTB training exactly as per-step ``update`` calls would.
+        Only valid for a freshly constructed predictor; the object is not
+        mutated. Returns None when a component has no batched form.
+        """
+        if predicted_exits is None:
+            return None
+        slot_fn = getattr(self._cttb, "batch_slot_ids", None)
+        if slot_fn is None:
+            return None
+        addrs = int64_column(task_addrs)
+        slot_ids = slot_fn(addrs)
+        if slot_ids is None:
+            return None
+        program = self._program
+        table = _DERIVED.get(
+            (program,), "task-table", lambda: _TaskTable(program)
+        )
+        rows = _DERIVED.get(
+            (task_addrs, program),
+            "task-rows",
+            lambda: table.rows_of(addrs),
+        )
+        predicted_exits = int64_column(predicted_exits)
+        actual_exits = int64_column(actual_exits)
+        cf_codes = int64_column(cf_codes)
+        next_addrs = int64_column(next_addrs)
+        predicted_cf = table.cf_codes[rows, predicted_exits]
+
+        # Header targets answer BRANCH/CALL exits; RAS and CTTB rows are
+        # overwritten below (every such row is a "read" of its structure).
+        out = table.targets[rows, predicted_exits].copy()
+
+        # Both timelines replay the actual (committed) outcome stream, so
+        # they are identical for every scheme over a given trace — they
+        # are built once and shared; only the read masks differ per cell.
+        ras_top = _DERIVED.get(
+            (task_addrs, cf_codes, actual_exits, program),
+            ("ras-top", self._ras.depth),
+            lambda: _ras_timeline(
+                cf_codes,
+                table.return_addrs[rows, actual_exits],
+                self._ras.depth,
+                addrs,
+                actual_exits,
+            ),
+        )
+        ras_reads = predicted_cf == _CF_RETURN
+        np.copyto(out, ras_top, where=ras_reads)
+
+        cttb_pre = _DERIVED.get(
+            (slot_ids, cf_codes, next_addrs),
+            ("cttb-pre", "indirect"),
+            lambda: _cttb_pretarget_column(
+                slot_ids,
+                (cf_codes == _CF_IBRANCH) | (cf_codes == _CF_ICALL),
+                next_addrs,
+            ),
+        )
+        cttb_reads = (predicted_cf == _CF_IBRANCH) | (
+            predicted_cf == _CF_ICALL
+        )
+        np.copyto(out, cttb_pre, where=cttb_reads)
+        return out
+
 
 class CttbOnlyTaskPredictor(NextTaskPredictor):
     """Headerless prediction: the CTTB alone supplies the next address.
@@ -167,6 +461,35 @@ class CttbOnlyTaskPredictor(NextTaskPredictor):
     def storage_bits(self) -> int:
         return self._cttb.storage_bits()
 
+    def batch_predicted_addrs(
+        self,
+        task_addrs: np.ndarray,
+        predicted_exits: np.ndarray | None,
+        actual_exits: np.ndarray,
+        cf_codes: np.ndarray,
+        next_addrs: np.ndarray,
+    ) -> np.ndarray | None:
+        """Predicted-address column: every step reads and trains the CTTB.
+
+        Same contract as :meth:`HeaderTaskPredictor.batch_predicted_addrs`
+        (``predicted_exits`` is unused — there is no exit predictor).
+        """
+        slot_fn = getattr(self._cttb, "batch_slot_ids", None)
+        if slot_fn is None:
+            return None
+        addrs = int64_column(task_addrs)
+        slot_ids = slot_fn(addrs)
+        if slot_ids is None:
+            return None
+        targets = int64_column(next_addrs)
+        everywhere = np.ones(len(addrs), dtype=bool)
+        pre = _DERIVED.get(
+            (slot_ids, targets),
+            ("cttb-pre", "all"),
+            lambda: _cttb_pretarget_column(slot_ids, everywhere, targets),
+        )
+        return pre.copy()
+
 
 class PerfectTaskPredictor(NextTaskPredictor):
     """Oracle predictor: replays the trace's actual successors (Table 4)."""
@@ -196,3 +519,26 @@ class PerfectTaskPredictor(NextTaskPredictor):
 
     def storage_bits(self) -> int:
         return 0
+
+    def batch_predicted_addrs(
+        self,
+        task_addrs: np.ndarray,
+        predicted_exits: np.ndarray | None,
+        actual_exits: np.ndarray,
+        cf_codes: np.ndarray,
+        next_addrs: np.ndarray,
+    ) -> np.ndarray | None:
+        """The oracle's column is the trace's successor column, verbatim.
+
+        Same contract as :meth:`HeaderTaskPredictor.batch_predicted_addrs`;
+        only the address column is consulted (to check trace order).
+        """
+        addrs = int64_column(task_addrs)
+        n = len(addrs)
+        if n > len(self._task_addr) or not np.array_equal(
+            addrs, int64_column(self._task_addr[:n])
+        ):
+            raise PredictorConfigError(
+                "perfect predictor queried out of trace order"
+            )
+        return int64_column(self._next_addr[:n])

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import PredictorConfigError
 from repro.predictors.folding import DolcSpec
+from repro.utils.memo import int64_column
 from repro.utils.bits import bit_mask
 from repro.utils.windows import factorize, group_by_path
 
@@ -118,7 +119,7 @@ class TaskTargetBuffer(_BufferBase):
         each other. Only valid for a freshly constructed buffer.
         """
         slots = (
-            np.asarray(task_addrs, dtype=np.int64) >> _ALIGN_SHIFT
+            int64_column(task_addrs) >> _ALIGN_SHIFT
         ) & bit_mask(self._index_bits)
         ids, _ = factorize(slots)
         return ids
@@ -156,6 +157,20 @@ class CorrelatedTaskTargetBuffer(_BufferBase):
         if self._spec.depth:
             self._path.append(task_addr)
 
+    def batch_slot_ids(
+        self, task_addrs: np.ndarray
+    ) -> np.ndarray | None:
+        """Vectorized :meth:`_slot` over a whole trace column.
+
+        The slot of step ``i`` is the DOLC fold of its address and the
+        path register as of step ``i`` — the previous ``depth`` task
+        addresses, since every step is fed through :meth:`observe_step`.
+        That is exactly :meth:`DolcSpec.index_column`. Only valid for a
+        freshly constructed buffer.
+        """
+        addrs = int64_column(task_addrs)
+        return self._spec.index_column(addrs)
+
     def storage_bits(self) -> int:
         """Full-capacity cost: a target and counter per entry."""
         return self._spec.table_entries * (
@@ -191,7 +206,7 @@ class IdealCorrelatedTargetBuffer(_BufferBase):
         since every step is fed through :meth:`observe_step`. Only valid
         for a freshly constructed buffer.
         """
-        addrs = np.asarray(task_addrs, dtype=np.int64)
+        addrs = int64_column(task_addrs)
         return group_by_path(addrs, self._depth)
 
     def storage_bits(self) -> int:

@@ -37,7 +37,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.predictors.automata import AutomatonTable
 from repro.predictors.base import ExitPredictor, NextTaskPredictor
+from repro.predictors.pht import PackedPatternTable
 from repro.sim.result import (
     ExitPredictionStats,
     TargetPredictionStats,
@@ -45,6 +47,11 @@ from repro.sim.result import (
 )
 from repro.synth.trace import CF_TYPE_FROM_CODE
 from repro.synth.workloads import Workload
+from repro.utils.memo import DerivedColumnCache, int64_column
+
+#: Exit-count columns per (workload, trace address column) — shared by
+#: every predictor scheme swept over the same trace.
+_EXIT_COUNT_CACHE = DerivedColumnCache()
 
 #: Codes of INDIRECT_BRANCH / INDIRECT_CALL in trace arrays.
 _INDIRECT_CODES = (3, 4)
@@ -58,16 +65,28 @@ def _exit_counts(workload: Workload) -> dict[int, int]:
     return workload.exit_counts()
 
 
-def _exit_count_column(
+def exit_count_column(
     workload: Workload, task_addrs: np.ndarray
 ) -> np.ndarray:
     """Per-step header-exit counts as a numpy column.
 
     Vectorizes the address -> exit-count mapping once per trace instead
-    of a dict lookup per step. Raises :class:`SimulationError` if the
-    trace references a task the program doesn't define.
+    of a dict lookup per step, and memoises the column per (workload,
+    address column) — the result is shared, do not mutate it. Raises
+    :class:`SimulationError` if the trace references a task the program
+    doesn't define.
     """
-    addrs = np.asarray(task_addrs, dtype=np.int64)
+    return _EXIT_COUNT_CACHE.get(
+        (workload, task_addrs),
+        "exit-count",
+        lambda: _exit_count_column(workload, task_addrs),
+    )
+
+
+def _exit_count_column(
+    workload: Workload, task_addrs: np.ndarray
+) -> np.ndarray:
+    addrs = int64_column(task_addrs)
     if addrs.size == 0:
         return np.zeros(0, dtype=np.int64)
     counts = _exit_counts(workload)
@@ -104,58 +123,79 @@ def _check_single_exit_legality(
         )
 
 
-def _leh_group_kernel(
+def _automaton_scan_kernel(
     group_ids: np.ndarray,
     actual_exits: np.ndarray,
     prediction_caps: np.ndarray,
-    hysteresis_bits: int,
+    table: AutomatonTable,
 ) -> tuple[int, int]:
-    """Replay LE/LEH automata over pre-grouped multiway steps.
+    """Replay tabulated automata over pre-grouped multiway steps.
 
     ``group_ids`` are dense table-key ids (one automaton per id);
     ``prediction_caps`` holds ``n_exits - 1`` per step (predictions are
-    clamped into the task's legal exit range). ``hysteresis_bits=0``
-    replays the plain last-exit automaton. Returns
-    ``(misses, states_touched)`` — bit-identical to driving the ideal
-    predictor's dict-of-automata step by step.
+    clamped into the task's legal exit range); ``table`` is the
+    automaton's enumerated state machine. Every entry starts in the
+    tabulated initial state, which is also what an untouched entry
+    predicts — a first touch reads prediction 0 exactly like the
+    dict-of-automata reference, whether the entry was pre-created by a
+    ``predict`` or is made on the fly by ``update``. Returns
+    ``(misses, states_touched)`` — bit-identical to the step-by-step
+    loop.
     """
     if not len(group_ids):
         return 0, 0
-    n_groups = int(group_ids.max()) + 1
-    exit_of = [0] * n_groups
-    confidence_of = [0] * n_groups
-    seen = bytearray(n_groups)
-    max_confidence = (1 << hysteresis_bits) - 1 if hysteresis_bits else 0
-    misses = 0
-    states = 0
-    for group, actual, cap in zip(
-        group_ids.tolist(), actual_exits.tolist(), prediction_caps.tolist()
-    ):
-        if seen[group]:
-            stored = exit_of[group]
-            if (stored if stored <= cap else cap) != actual:
-                misses += 1
-            if actual == stored:
-                conf = confidence_of[group]
-                if conf < max_confidence:
-                    confidence_of[group] = conf + 1
-            else:
-                conf = confidence_of[group]
-                if conf > 0:
-                    confidence_of[group] = conf - 1
-                else:
-                    exit_of[group] = actual
-        else:
-            # First touch: predict() finds no automaton and returns 0;
-            # update() then creates one and trains it on the outcome.
-            seen[group] = 1
-            states += 1
-            if actual:
-                misses += 1
-                exit_of[group] = actual
-            elif max_confidence:
-                confidence_of[group] = 1
-    return misses, states
+    packed = PackedPatternTable(table, int(group_ids.max()) + 1)
+    pre_states = packed.replay(group_ids, actual_exits)
+    predictions = np.minimum(
+        packed.predictions_of(pre_states), prediction_caps
+    )
+    misses = int((predictions != actual_exits).sum())
+    return misses, packed.states_touched()
+
+
+def batched_exit_prediction_column(
+    predictor: ExitPredictor,
+    task_addrs: np.ndarray,
+    actual_exits: np.ndarray,
+    n_exits_col: np.ndarray,
+) -> np.ndarray | None:
+    """Per-step predicted exits via the predictor's batched kernel.
+
+    Returns the full int64 column a sequence of ``predict``/``update``
+    pairs would produce — 0 at single-exit steps, clamped into the legal
+    range at multiway ones — without mutating the predictor, or None when
+    it advertises no exact batched form. This is the exit-choice half of
+    the batched task predictors and the timing simulator's fast path.
+    """
+    multiway = np.asarray(n_exits_col) > 1
+    plan_fn = getattr(predictor, "batch_plan", None)
+    if plan_fn is not None:
+        plan = plan_fn(task_addrs, actual_exits)
+        if plan is None:
+            return None
+        _check_single_exit_legality(task_addrs, actual_exits, multiway)
+        group_ids, table = plan
+        steps = np.flatnonzero(multiway)
+        predicted = np.zeros(len(task_addrs), dtype=np.int64)
+        if steps.size:
+            packed = PackedPatternTable(
+                table, int(group_ids[steps].max()) + 1
+            )
+            pre_states = packed.replay(
+                group_ids[steps],
+                int64_column(actual_exits)[steps],
+            )
+            predicted[steps] = np.minimum(
+                packed.predictions_of(pre_states),
+                int64_column(n_exits_col)[steps] - 1,
+            )
+        return predicted
+    column_fn = getattr(predictor, "predict_column", None)
+    if column_fn is not None:
+        return np.asarray(
+            column_fn(task_addrs, n_exits_col), dtype=np.int64
+        )
+    return None
 
 
 def _batched_exit_stats(
@@ -172,13 +212,13 @@ def _batched_exit_stats(
         if plan is None:
             return None
         _check_single_exit_legality(task_addrs, actual_exits, multiway)
-        group_ids, hysteresis_bits = plan
+        group_ids, table = plan
         steps = np.flatnonzero(multiway)
-        misses, states = _leh_group_kernel(
+        misses, states = _automaton_scan_kernel(
             group_ids[steps],
             actual_exits[steps].astype(np.int64),
             n_exits_col[steps].astype(np.int64) - 1,
-            hysteresis_bits,
+            table,
         )
         return ExitPredictionStats(
             trials=len(task_addrs),
@@ -193,7 +233,7 @@ def _batched_exit_stats(
         predicted = np.asarray(
             column_fn(task_addrs, n_exits_col), dtype=np.int64
         )
-        wrong = predicted != np.asarray(actual_exits, dtype=np.int64)
+        wrong = predicted != int64_column(actual_exits)
         bad = np.flatnonzero(~multiway & wrong)
         if bad.size:
             step = int(bad[0])
@@ -226,7 +266,7 @@ def simulate_exit_prediction(
     step-by-step loop.
     """
     trace = workload.trace if limit is None else workload.trace.head(limit)
-    n_exits_col = _exit_count_column(workload, trace.task_addr)
+    n_exits_col = exit_count_column(workload, trace.task_addr)
     if vectorize:
         stats = _batched_exit_stats(
             predictor, trace.task_addr, trace.exit_index, n_exits_col
@@ -380,13 +420,84 @@ def simulate_indirect_target_prediction(
     )
 
 
+def batched_task_prediction_column(
+    workload: Workload,
+    predictor: NextTaskPredictor,
+    trace,
+) -> np.ndarray | None:
+    """Per-step predicted next-task addresses, or None.
+
+    Composes the predictor's exit-choice column (when it has an exit
+    predictor) with its batched address resolution
+    (``batch_predicted_addrs``). The predictor object is not mutated;
+    only freshly constructed predictors may be batched. Shared by
+    :func:`simulate_task_prediction` and the timing simulator's fast
+    path.
+    """
+    batch_fn = getattr(predictor, "batch_predicted_addrs", None)
+    if batch_fn is None:
+        return None
+    predicted_exits = None
+    exit_predictor = getattr(predictor, "exit_predictor", None)
+    if exit_predictor is not None:
+        n_exits_col = exit_count_column(workload, trace.task_addr)
+        predicted_exits = batched_exit_prediction_column(
+            exit_predictor, trace.task_addr, trace.exit_index, n_exits_col
+        )
+        if predicted_exits is None:
+            return None
+    return batch_fn(
+        trace.task_addr,
+        predicted_exits,
+        trace.exit_index,
+        trace.cf_type,
+        trace.next_addr,
+    )
+
+
 def simulate_task_prediction(
     workload: Workload,
     predictor: NextTaskPredictor,
     limit: int | None = None,
+    vectorize: bool = True,
 ) -> TaskPredictionStats:
-    """Measure full next-task-address prediction accuracy (Table 3)."""
+    """Measure full next-task-address prediction accuracy (Table 3).
+
+    Uses the predictor's batched column when it advertises an exact one
+    (see the module docstring); ``vectorize=False`` forces the loop.
+    """
     trace = workload.trace if limit is None else workload.trace.head(limit)
+    if vectorize:
+        predicted = batched_task_prediction_column(
+            workload, predictor, trace
+        )
+        if predicted is not None:
+            wrong = predicted != int64_column(trace.next_addr)
+            n_codes = max(CF_TYPE_FROM_CODE) + 1
+            code_trials = np.bincount(trace.cf_type, minlength=n_codes)
+            code_misses = np.bincount(
+                trace.cf_type[wrong], minlength=n_codes
+            )
+            type_names = {
+                code: str(cf_type)
+                for code, cf_type in CF_TYPE_FROM_CODE.items()
+            }
+            return TaskPredictionStats(
+                trials=len(trace.task_addr),
+                address_misses=int(wrong.sum()),
+                misses_by_type={
+                    type_names[code]: int(count)
+                    for code, count in enumerate(code_misses)
+                    if count
+                },
+                trials_by_type={
+                    type_names[code]: int(count)
+                    for code, count in enumerate(code_trials)
+                    if count
+                },
+                storage_bits=predictor.storage_bits(),
+            )
+
     task_addrs = trace.task_addr.tolist()
     actual_exits = trace.exit_index.tolist()
     cf_codes = trace.cf_type.tolist()

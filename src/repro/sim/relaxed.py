@@ -17,8 +17,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.isa.controlflow import MAX_EXITS_PER_TASK
+from repro.predictors.automata import tabulate_automaton
+from repro.predictors.folding import DolcSpec, _ALIGN_SHIFT
+from repro.predictors.pht import PackedPatternTable
 from repro.predictors.speculative import SpeculativePathPredictor
 from repro.synth.workloads import Workload
+from repro.utils.bits import bit_mask
+from repro.utils.memo import DerivedColumnCache, int64_column
+
+#: Header columns per program, shared by every relaxed run over it.
+_HEADER_CACHE = DerivedColumnCache()
+
+#: Sentinel for "this exit's target is not in the header" (the walk stops).
+_NO_TARGET = -1
 
 
 @dataclass(frozen=True)
@@ -42,19 +56,264 @@ class RelaxedPredictionStats:
         return self.misses / self.trials if self.trials else 0.0
 
 
+class _HeaderColumns:
+    """Per-program header facts for the batched wrong-path walk."""
+
+    __slots__ = ("addrs", "n_exits", "targets")
+
+    def __init__(self, program) -> None:
+        tasks = sorted(program.tfg, key=lambda task: task.address)
+        self.addrs = np.array(
+            [task.address for task in tasks], dtype=np.int64
+        )
+        self.n_exits = np.array(
+            [task.n_exits for task in tasks], dtype=np.int64
+        )
+        max_exits = int(self.n_exits.max()) if tasks else 1
+        self.targets = np.full(
+            (len(tasks), max_exits), _NO_TARGET, dtype=np.int64
+        )
+        for row, task in enumerate(tasks):
+            for col, e in enumerate(task.header.exits):
+                if e.target is not None:
+                    self.targets[row, col] = e.target
+
+    def rows_of(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(row, known)`` per address; row is clamped when unknown."""
+        rows = np.searchsorted(self.addrs, addrs)
+        rows = np.minimum(rows, max(len(self.addrs) - 1, 0))
+        known = (
+            self.addrs[rows] == addrs if len(self.addrs)
+            else np.zeros(len(addrs), dtype=bool)
+        )
+        return rows, known
+
+
+def _dolc_index_rows(
+    spec: DolcSpec,
+    current: np.ndarray,
+    window: np.ndarray | None,
+    n_path: np.ndarray | None,
+) -> np.ndarray:
+    """Vectorized :meth:`DolcSpec.index` over per-row path windows.
+
+    ``window`` holds each row's path register contents (most recent
+    last, ``spec.depth`` columns); ``n_path`` is how many of those
+    entries are real (cold-start rows have fewer — absent tasks
+    contribute zero bits, as in the scalar method).
+    """
+    out = np.zeros(len(current), dtype=np.int64)
+    field_width = spec.index_bits
+
+    def fold_in(values: np.ndarray, width: int, position: int) -> None:
+        remaining, shift = width, position
+        chunk = values
+        while remaining > 0:
+            offset = shift % field_width
+            take = min(field_width - offset, remaining)
+            np.bitwise_xor(
+                out, (chunk & bit_mask(take)) << offset, out=out
+            )
+            chunk = chunk >> take
+            shift += take
+            remaining -= take
+
+    fold_in(
+        (current >> _ALIGN_SHIFT) & bit_mask(spec.current_bits),
+        spec.current_bits,
+        0,
+    )
+    position = spec.current_bits
+    if spec.depth >= 1:
+        last = np.where(n_path >= 1, window[:, -1], 0)
+        fold_in(
+            (last >> _ALIGN_SHIFT) & bit_mask(spec.last_bits),
+            spec.last_bits,
+            position,
+        )
+        position += spec.last_bits
+        if spec.older_bits:
+            older_mask = bit_mask(spec.older_bits)
+            for back in range(2, spec.depth + 1):
+                older = np.where(n_path >= back, window[:, -back], 0)
+                fold_in(
+                    (older >> _ALIGN_SHIFT) & older_mask,
+                    spec.older_bits,
+                    position,
+                )
+                position += spec.older_bits
+    return out
+
+
+def _batched_speculative_stats(
+    workload: Workload,
+    predictor: SpeculativePathPredictor,
+    wrong_path_depth: int,
+    trace,
+) -> RelaxedPredictionStats | None:
+    """Columnwise speculative run, or None without an exact batched form.
+
+    Only the ``"perfect"`` repair policy is batchable: perfect repair
+    restores the committed-path history after every mispredict, so the
+    committed prediction stream is a straight PHT replay over the
+    D-O-L-C index column, and each wrong-path excursion can be replayed
+    afterwards against the PHT state of its origin step (wrong-path
+    predictions never train, so excursions don't interact). ``"squash"``
+    and ``"none"`` leave pollution in the history register, which couples
+    every step to the trace's miss pattern — those stay on the stepped
+    loop, which is also the reference this kernel is tested against.
+    """
+    if predictor.repair_policy != "perfect":
+        return None
+    spec = predictor.spec
+    table = tabulate_automaton(predictor.pht_factory, MAX_EXITS_PER_TASK)
+    if table is None:
+        return None
+
+    headers = _HEADER_CACHE.get(
+        (workload,),
+        "relaxed-headers",
+        lambda: _HeaderColumns(workload.compiled.program),
+    )
+    addrs = int64_column(trace.task_addr)
+    actual_exits = int64_column(trace.exit_index)
+    n = len(addrs)
+    if n == 0:
+        return RelaxedPredictionStats(0, 0, 0)
+    rows, known = headers.rows_of(addrs)
+    if not known.all():
+        return None  # let the stepped loop raise its KeyError
+    n_exits_col = headers.n_exits[rows]
+
+    # Committed stream: perfect repair keeps the path register equal to
+    # the committed-path tail at every step, so the index column is the
+    # plain D-O-L-C fold and the PHT replay is exact.
+    index_col = spec.index_column(trace.task_addr)
+    multiway = n_exits_col > 1
+    steps = np.flatnonzero(multiway)
+    predicted = np.zeros(n, dtype=np.int64)
+    pre_states = np.zeros(steps.size, dtype=np.int64)
+    if steps.size:
+        packed = PackedPatternTable(
+            table, int(index_col[steps].max()) + 1
+        )
+        pre_states = packed.replay(index_col[steps], actual_exits[steps])
+        predicted[steps] = np.minimum(
+            packed.predictions_of(pre_states), n_exits_col[steps] - 1
+        )
+    wrong = predicted != actual_exits
+    misses = int(wrong.sum())
+
+    # Wrong-path walks: replayed level by level across all misses at
+    # once. A walk at origin step i reads PHT entries as trained by
+    # multiway steps j < i (step i itself trains at resolve, *after* its
+    # walk), answered per level with one combined-key searchsorted over
+    # the committed update stream.
+    post_states = table.transitions[
+        pre_states, actual_exits[steps]
+    ].astype(np.int64)
+    stride = np.int64(n + 1)
+    update_keys = index_col[steps] * stride + steps
+    update_order = np.argsort(update_keys)
+    update_keys = update_keys[update_order]
+    update_states = post_states[update_order]
+    update_index = index_col[steps][update_order]
+
+    origin = np.flatnonzero(wrong)
+    wrong_path_predictions = 0
+    if origin.size and wrong_path_depth > 0:
+        current = headers.targets[rows[origin], predicted[origin]]
+        depth = spec.depth
+        if depth:
+            # Path register contents just after step i's own predict:
+            # the last `depth` committed addresses, most recent last.
+            window = np.zeros((origin.size, depth), dtype=np.int64)
+            for k in range(depth):
+                lag = depth - 1 - k
+                valid = origin >= lag
+                window[valid, k] = addrs[origin[valid] - lag]
+            n_path = np.minimum(origin + 1, depth)
+        else:
+            window = None
+            n_path = None
+        for _ in range(wrong_path_depth):
+            live = current != _NO_TARGET
+            if not live.any():
+                break
+            current = current[live]
+            origin = origin[live]
+            if depth:
+                window = window[live]
+                n_path = n_path[live]
+            walk_rows, walk_known = headers.rows_of(current)
+            if not walk_known.all():
+                keep = walk_known
+                current = current[keep]
+                origin = origin[keep]
+                walk_rows = walk_rows[keep]
+                if depth:
+                    window = window[keep]
+                    n_path = n_path[keep]
+                if not len(current):
+                    break
+            walk_exits = headers.n_exits[walk_rows]
+            index = _dolc_index_rows(spec, current, window, n_path)
+            query = index * stride + origin
+            pos = np.searchsorted(update_keys, query) - 1
+            hit = (pos >= 0) & (update_index[np.maximum(pos, 0)] == index)
+            states = np.where(
+                hit, update_states[np.maximum(pos, 0)], 0
+            )
+            walk_predicted = np.where(
+                walk_exits > 1,
+                np.minimum(
+                    table.predictions[states],
+                    np.maximum(walk_exits - 1, 0),
+                ),
+                0,
+            )
+            wrong_path_predictions += len(current)
+            if depth:
+                window = np.concatenate(
+                    (window[:, 1:], current[:, None]), axis=1
+                )
+                n_path = np.minimum(n_path + 1, depth)
+            current = headers.targets[walk_rows, walk_predicted]
+
+    return RelaxedPredictionStats(
+        trials=n,
+        misses=misses,
+        wrong_path_predictions=wrong_path_predictions,
+    )
+
+
 def simulate_speculative_exit_prediction(
     workload: Workload,
     predictor: SpeculativePathPredictor,
     wrong_path_depth: int = 4,
     limit: int | None = None,
+    vectorize: bool = True,
 ) -> RelaxedPredictionStats:
     """Run a speculative-history predictor with wrong-path pollution.
 
     ``wrong_path_depth`` bounds how many wrong-path tasks are fetched and
     predicted before the mispredict resolves — in hardware this is at most
     the number of speculative processing units.
+
+    With ``vectorize=True`` (default) and the ``"perfect"`` repair
+    policy, the run is evaluated as a batched PHT replay plus a
+    level-synchronous wrong-path walk — bit-identical statistics, no
+    per-task Python loop, and the predictor object is not mutated.
+    Other repair policies (and ``vectorize=False``) use the stepped
+    loop, which mutates the predictor as real hardware would.
     """
     trace = workload.trace if limit is None else workload.trace.head(limit)
+    if vectorize:
+        stats = _batched_speculative_stats(
+            workload, predictor, wrong_path_depth, trace
+        )
+        if stats is not None:
+            return stats
     info: dict[int, tuple[int, tuple]] = {}
     for task in workload.compiled.program.tfg:
         info[task.address] = (

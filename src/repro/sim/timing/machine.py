@@ -27,10 +27,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.predictors.base import NextTaskPredictor
+from repro.sim.functional import batched_task_prediction_column
 from repro.sim.timing.config import TimingConfig
 from repro.sim.timing.ring import ProcessingRing
+from repro.sim.timing.scan import (
+    CODE_CORRECT,
+    CODE_GATED,
+    CODE_MISPREDICT,
+    max_plus_timing_scan,
+)
 from repro.synth.workloads import Workload
+from repro.utils.memo import DerivedColumnCache, int64_column
+
+#: Cycle columns per (trace, config knobs) — identical for every
+#: predictor scheme swept over the same trace.
+_CYCLE_CACHE = DerivedColumnCache()
 
 
 @dataclass(frozen=True)
@@ -71,12 +85,117 @@ class TimingResult:
         )
 
 
+def _batched_timing(
+    workload: Workload,
+    predictor: NextTaskPredictor,
+    trace,
+    config: TimingConfig,
+    confidence_gate,
+) -> TimingResult | None:
+    """Column-wise timing run, or None without exact batched forms.
+
+    Phase A resolves every per-task prediction outcome as numpy columns
+    (the batched predictors never mutate their objects); phase B
+    evaluates the timing recurrences in one max-plus scan
+    (:mod:`repro.sim.timing.scan`). Bit-identical to the stepped loop.
+    """
+    predicted = batched_task_prediction_column(workload, predictor, trace)
+    if predicted is None:
+        return None
+    correct = predicted == int64_column(trace.next_addr)
+    gated = None
+    if confidence_gate is not None:
+        gate_fn = getattr(confidence_gate, "batch_gate_columns", None)
+        if gate_fn is None:
+            return None
+        confident = gate_fn(trace.task_addr, correct)
+        if confident is None:
+            return None
+        gated = ~confident
+
+    instructions = int64_column(trace.instructions)
+    intra_misses = int64_column(trace.internal_mispredicts)
+
+    def cycle_columns() -> tuple[np.ndarray, np.ndarray]:
+        exec_col = (
+            config.task_startup_cycles
+            + -(-instructions // config.issue_width)  # ceil division
+            + intra_misses * config.intra_mispredict_penalty
+        )
+        forward_col = (config.forward_fraction * exec_col).astype(np.int64)
+        return exec_col, forward_col
+
+    exec_cycles, forward_stalls = _CYCLE_CACHE.get(
+        (trace.instructions, trace.internal_mispredicts),
+        (
+            "cycles",
+            config.task_startup_cycles,
+            config.issue_width,
+            config.intra_mispredict_penalty,
+            config.forward_fraction,
+        ),
+        cycle_columns,
+    )
+    if config.dependence_aware:
+
+        def dependence_mask() -> np.ndarray | None:
+            program_tasks = workload.compiled.program.tfg
+            addr_table = np.array(
+                sorted(task.address for task in program_tasks),
+                dtype=np.int64,
+            )
+            create_table = np.zeros(len(addr_table), dtype=np.int64)
+            use_table = np.zeros(len(addr_table), dtype=np.int64)
+            for task in program_tasks:
+                row = int(np.searchsorted(addr_table, task.address))
+                create_table[row] = task.header.create_mask
+                use_table[row] = task.use_mask
+            addrs = int64_column(trace.task_addr)
+            rows = np.searchsorted(addr_table, addrs)
+            rows = np.minimum(rows, len(addr_table) - 1)
+            if np.any(addr_table[rows] != addrs):
+                return None  # unknown task: let the stepped loop raise
+            prev_create = np.empty(len(addrs), dtype=np.int64)
+            prev_create[0] = 0xFFFF  # pre-trace state feeds task 0
+            prev_create[1:] = create_table[rows[:-1]]
+            return (prev_create & use_table[rows]) != 0
+
+        dependent = _CYCLE_CACHE.get(
+            (trace.task_addr, workload), "dependence", dependence_mask
+        )
+        if dependent is None:
+            return None
+        forward_stalls = np.where(dependent, forward_stalls, 0)
+
+    codes = np.where(correct, CODE_CORRECT, CODE_MISPREDICT)
+    if gated is not None:
+        codes = np.where(gated, CODE_GATED, codes)
+    cycles, stalls = max_plus_timing_scan(
+        exec_cycles,
+        forward_stalls,
+        codes,
+        config.n_units,
+        config.dispatch_interval,
+        config.task_mispredict_penalty,
+        config.commit_interval,
+    )
+    return TimingResult(
+        cycles=cycles,
+        instructions=int(instructions.sum()),
+        tasks=len(instructions),
+        task_mispredicts=int((codes == CODE_MISPREDICT).sum()),
+        intra_mispredicts=int(intra_misses.sum()),
+        mispredict_stall_cycles=stalls,
+    )
+
+
 def simulate_timing(
     workload: Workload,
     predictor: NextTaskPredictor,
     config: TimingConfig | None = None,
     limit: int | None = None,
     confidence_gate=None,
+    vectorize: bool = True,
 ) -> TimingResult:
     """Replay the workload's trace through the timing model.
 
@@ -91,9 +210,21 @@ def simulate_timing(
     acted on — the sequencer waits for the task to resolve (losing
     overlap) instead of speculating (risking a squash). High-confidence
     predictions dispatch as usual.
+
+    When the predictor (and the gate, if any) advertise exact batched
+    forms, the run is evaluated as numpy columns plus a max-plus scan —
+    same results, no per-task Python loop. ``vectorize=False`` forces
+    the stepped loop (required when the caller inspects predictor state
+    afterwards, since batched runs never mutate the objects).
     """
     config = config or TimingConfig()
     trace = workload.trace if limit is None else workload.trace.head(limit)
+    if vectorize and len(trace.task_addr):
+        result = _batched_timing(
+            workload, predictor, trace, config, confidence_gate
+        )
+        if result is not None:
+            return result
     task_addrs = trace.task_addr.tolist()
     actual_exits = trace.exit_index.tolist()
     cf_codes = trace.cf_type.tolist()

@@ -1,0 +1,87 @@
+"""Identity-keyed memoisation for columns derived from trace arrays.
+
+A Table 4 sweep runs many predictor schemes over the *same* workload
+traces, and every batched run re-derives columns that depend only on the
+trace and static program facts — path-index columns, header tables,
+return-address timelines. Those inputs are ndarrays (unhashable) and
+programs (alive for the whole sweep), so the cache keys on the *object
+identities* of its anchor inputs and holds only weak references to them:
+when a trace or program is garbage-collected its derived columns go too,
+and a recycled ``id`` can never alias a dead anchor because the stored
+weak references are revalidated on every hit.
+
+Cached values are shared between callers and must be treated as
+immutable; callers that need a private copy must copy explicitly.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+#: Entry count that triggers a sweep of dead-anchor entries.
+_PRUNE_THRESHOLD = 256
+
+
+class DerivedColumnCache:
+    """Memoise ``build()`` results keyed by anchor identity + a tag.
+
+    ``anchors`` are the objects the derived value is a pure function of
+    (trace columns, programs); ``tag`` carries any hashable non-object
+    parameters (specs, depths, config tuples). Anchors that cannot be
+    weak-referenced simply bypass the cache.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple[tuple, Any]] = {}
+
+    def get(
+        self,
+        anchors: tuple,
+        tag: Hashable,
+        build: Callable[[], Any],
+    ) -> Any:
+        key = (tuple(id(anchor) for anchor in anchors), tag)
+        entry = self._entries.get(key)
+        if entry is not None:
+            refs, value = entry
+            if all(
+                ref() is anchor for ref, anchor in zip(refs, anchors)
+            ):
+                return value
+        value = build()
+        try:
+            refs = tuple(weakref.ref(anchor) for anchor in anchors)
+        except TypeError:
+            return value
+        if len(self._entries) >= _PRUNE_THRESHOLD:
+            self._entries = {
+                k: (rs, v)
+                for k, (rs, v) in self._entries.items()
+                if all(r() is not None for r in rs)
+            }
+        self._entries[key] = (refs, value)
+        return value
+
+
+_INT64_CACHE = DerivedColumnCache()
+
+
+def int64_column(values: Any) -> np.ndarray:
+    """``np.asarray(values, dtype=int64)`` with a canonical result.
+
+    Trace columns are stored at their natural narrow widths (uint8 /
+    uint16 / uint32), so a plain ``asarray`` widens to a *new* object on
+    every call — which would defeat every identity-keyed cache anchored
+    on the widened column. This helper returns the *same* int64 array for
+    the same source object, making widened columns usable as cache
+    anchors. The result is shared: treat it as read-only.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == np.int64:
+        return arr
+    return _INT64_CACHE.get(
+        (values,), "int64", lambda: arr.astype(np.int64)
+    )

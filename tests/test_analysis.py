@@ -45,7 +45,7 @@ def _rule_ids(findings: list[Finding]) -> list[str]:
 
 
 class TestRuleRegistry:
-    def test_all_fourteen_rules_register_once(self):
+    def test_all_sixteen_rules_register_once(self):
         rules = all_rules()
         ids = [rule.id for rule in rules]
         assert ids == sorted(ids)
@@ -56,6 +56,7 @@ class TestRuleRegistry:
             "NPW001", "NPW002", "NPW003",
             "PROT001", "PROT002", "PROT003",
             "PUR001", "PUR002",
+            "VEC001", "VEC002",
         }
 
     def test_every_rule_documents_itself(self):
@@ -523,6 +524,136 @@ class TestCheckpointRules:
                 """,
         })
         findings, _ = _run(tmp_path, ["CKP002"])
+        assert findings == []
+
+
+class TestVectorizationRules:
+    def test_scalar_loop_in_vectorized_module_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "sim/kernel.py": """\
+                import numpy as np
+
+
+                def simulate(trace, vectorize=True):
+                    state = np.zeros(len(trace), dtype=np.int64)
+                    for i in range(1, len(trace)):
+                        state[i] = state[i - 1] + 1
+                    return state
+                """,
+        })
+        findings, _ = _run(tmp_path, ["VEC001"])
+        assert _rule_ids(findings) == ["VEC001"]
+        assert "per-element Python loop" in findings[0].message
+
+    def test_direct_ndarray_iteration_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "sim/kernel.py": """\
+                import numpy as np
+
+
+                def simulate(trace, vectorize=True):
+                    exits = np.asarray(trace, dtype=np.int64)
+                    total = 0
+                    for exit_index in exits:
+                        total += int(exit_index)
+                    return total
+                """,
+        })
+        findings, _ = _run(tmp_path, ["VEC001"])
+        assert _rule_ids(findings) == ["VEC001"]
+
+    def test_tolist_scalar_path_and_lag_loops_pass(self, tmp_path):
+        _project(tmp_path, {
+            "sim/kernel.py": """\
+                import numpy as np
+
+
+                def simulate(trace, vectorize=True):
+                    arr = np.asarray(trace, dtype=np.int64)
+                    # Sanctioned scalar reference path: plain Python list.
+                    total = 0
+                    for value in arr.tolist():
+                        total += value
+                    # Loop over lags: whole-column work per iteration.
+                    windows = np.zeros((4, len(arr)), dtype=np.int64)
+                    for lag in range(1, 4):
+                        windows[lag, lag:] = arr[: len(arr) - lag]
+                    mask = arr > 0
+                    for k in range(4):
+                        windows[k][mask] = 0
+                    return total, windows
+                """,
+        })
+        findings, _ = _run(tmp_path, ["VEC001"])
+        assert findings == []
+
+    def test_module_without_vectorize_claim_not_scanned(self, tmp_path):
+        _project(tmp_path, {
+            "tools/report.py": """\
+                import numpy as np
+
+
+                def tally(values):
+                    arr = np.asarray(values, dtype=np.int64)
+                    out = np.zeros(len(arr), dtype=np.int64)
+                    for i in range(len(arr)):
+                        out[i] = arr[i] * 2
+                    return out
+                """,
+        })
+        findings, _ = _run(tmp_path, ["VEC001"])
+        assert findings == []
+
+    def test_docstring_claim_triggers_scan(self, tmp_path):
+        _project(tmp_path, {
+            "sim/kernel.py": '''\
+                """Vectorized replay kernels for the batched path."""
+                import numpy as np
+
+
+                def replay(codes):
+                    state = np.zeros(len(codes), dtype=np.int64)
+                    for i in range(1, len(codes)):
+                        state[i] = state[i - 1] ^ 1
+                    return state
+                ''',
+        })
+        findings, _ = _run(tmp_path, ["VEC001"])
+        assert _rule_ids(findings) == ["VEC001"]
+
+    def test_narrowing_column_store_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "predictors/columns.py": """\
+                import numpy as np
+
+
+                def pack(rows, keys):
+                    column = np.zeros(64, dtype=np.int16)
+                    wide = np.asarray(keys, dtype=np.int64)
+                    column[rows] = wide << 3
+                    return column
+                """,
+        })
+        findings, _ = _run(tmp_path, ["VEC002"])
+        assert _rule_ids(findings) == ["VEC002"]
+        assert "truncates" in findings[0].message
+
+    def test_wide_column_store_passes(self, tmp_path):
+        _project(tmp_path, {
+            "predictors/columns.py": """\
+                import numpy as np
+
+
+                def pack(rows, keys):
+                    column = np.zeros(64, dtype=np.int64)
+                    wide = np.asarray(keys, dtype=np.int64)
+                    column[rows] = wide << 3
+                    narrow = np.zeros(64, dtype=np.int8)
+                    narrow[rows] = np.zeros(len(rows), dtype=np.int8)
+                    return column, narrow
+                """,
+        })
+        findings, _ = _run(tmp_path, ["VEC002"])
         assert findings == []
 
 

@@ -1,0 +1,210 @@
+"""Bit-identity of the vectorized simulation paths vs their scalar twins.
+
+The PR 6 performance contract: every ``vectorize=True`` path — the
+timing model's max-plus scan, the realistic predictors' batched
+columns, the speculative-history replay, the detailed model's
+event-compressed advance — must produce results *equal* to the stepped
+scalar reference, not merely close. These tests sweep the full scheme
+grid (every realistic Table 4 predictor) over all five synthetic
+workload profiles, vary the machine configuration (ring size,
+penalties, forwarding), and run one checkpoint-resumed sweep to show
+records served from a checkpoint store match a fresh vectorized run.
+
+(`repro.sim.timing.scan` points here as the scan's equivalence proof.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evalx.checkpoint import CheckpointStore
+from repro.evalx.experiments.common import BENCHMARKS
+from repro.evalx.experiments.table4 import SCHEMES, _make_predictor
+from repro.evalx.registry import run_experiment
+from repro.predictors.folding import DolcSpec
+from repro.predictors.speculative import (
+    REPAIR_POLICIES,
+    SpeculativePathPredictor,
+)
+from repro.sim.relaxed import simulate_speculative_exit_prediction
+from repro.sim.timing import TimingConfig, simulate_timing
+from repro.sim.timing.detailed import simulate_timing_detailed
+from repro.synth.workloads import load_workload
+from repro.utils.memo import DerivedColumnCache, int64_column
+
+_TASKS = 4_000
+
+_CONFIGS = {
+    "paper": TimingConfig(),
+    "wide-ring": TimingConfig(n_units=8, commit_interval=2),
+    "serial-forwarding": TimingConfig(
+        forward_fraction=1.0, task_mispredict_penalty=12
+    ),
+    "long-tasks": TimingConfig(task_startup_cycles=16, issue_width=2),
+}
+
+
+class TestTimingBitIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_every_scheme_every_profile(self, name, scheme):
+        workload = load_workload(name, n_tasks=_TASKS)
+        stepped = simulate_timing(
+            workload, _make_predictor(scheme, workload), vectorize=False
+        )
+        batched = simulate_timing(
+            workload, _make_predictor(scheme, workload), vectorize=True
+        )
+        assert batched == stepped
+
+    @pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+    @pytest.mark.parametrize("scheme", ("PATH", "GLOBAL"))
+    def test_machine_configurations(self, config_name, scheme):
+        workload = load_workload("gcc", n_tasks=_TASKS)
+        config = _CONFIGS[config_name]
+        stepped = simulate_timing(
+            workload, _make_predictor(scheme, workload),
+            config=config, vectorize=False,
+        )
+        batched = simulate_timing(
+            workload, _make_predictor(scheme, workload),
+            config=config, vectorize=True,
+        )
+        assert batched == stepped
+
+
+class TestDetailedEventCompression:
+    @pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+    @pytest.mark.parametrize("scheme", ("Simple", "PATH", "Perfect"))
+    def test_event_skips_are_exact(self, config_name, scheme):
+        workload = load_workload("xlisp", n_tasks=1_500)
+        config = _CONFIGS[config_name]
+        stepped = simulate_timing_detailed(
+            workload, _make_predictor(scheme, workload),
+            config=config, vectorize=False,
+        )
+        compressed = simulate_timing_detailed(
+            workload, _make_predictor(scheme, workload),
+            config=config, vectorize=True,
+        )
+        assert compressed == stepped
+
+
+class TestSpeculativeReplay:
+    @pytest.mark.parametrize(
+        "spec", ("7-5-7-8(3)", "4-4-6-8(2)", "0-0-0-9(1)", "2-3-5-6(2)")
+    )
+    @pytest.mark.parametrize("depth", (0, 1, 4, 7))
+    def test_perfect_repair_matches_stepped_loop(self, spec, depth):
+        workload = load_workload("compress", n_tasks=_TASKS)
+        parsed = DolcSpec.parse(spec)
+        stepped = simulate_speculative_exit_prediction(
+            workload, SpeculativePathPredictor(parsed),
+            wrong_path_depth=depth, vectorize=False,
+        )
+        batched = simulate_speculative_exit_prediction(
+            workload, SpeculativePathPredictor(parsed),
+            wrong_path_depth=depth, vectorize=True,
+        )
+        assert batched == stepped
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_perfect_repair_every_profile(self, name):
+        workload = load_workload(name, n_tasks=_TASKS)
+        parsed = DolcSpec.parse("7-5-7-8(3)")
+        stepped = simulate_speculative_exit_prediction(
+            workload, SpeculativePathPredictor(parsed),
+            vectorize=False,
+        )
+        batched = simulate_speculative_exit_prediction(
+            workload, SpeculativePathPredictor(parsed),
+            vectorize=True,
+        )
+        assert batched == stepped
+
+    @pytest.mark.parametrize("repair", REPAIR_POLICIES)
+    def test_other_repair_policies_fall_back(self, repair):
+        """vectorize=True must be safe for every policy (scalar fallback)."""
+        workload = load_workload("sc", n_tasks=1_000)
+        parsed = DolcSpec.parse("4-4-6-8(2)")
+        stepped = simulate_speculative_exit_prediction(
+            workload, SpeculativePathPredictor(parsed, repair=repair),
+            vectorize=False,
+        )
+        batched = simulate_speculative_exit_prediction(
+            workload, SpeculativePathPredictor(parsed, repair=repair),
+            vectorize=True,
+        )
+        assert batched == stepped
+
+
+class TestCheckpointResumedSweep:
+    def test_resumed_sweep_matches_fresh_run(self, tmp_path):
+        """Records served from a checkpoint store equal a fresh sweep."""
+        kwargs = dict(quick=True, n_tasks=2_000)
+        fresh = run_experiment("table4", **kwargs)
+        first = run_experiment(
+            "table4", checkpoint=CheckpointStore(tmp_path), **kwargs
+        )
+        resumed = run_experiment(
+            "table4",
+            checkpoint=CheckpointStore(tmp_path, resume=True),
+            **kwargs,
+        )
+        assert first.data == fresh.data
+        assert resumed.data == fresh.data
+        # The resume really was served from disk, not recomputed.
+        assert list(tmp_path.glob("*.ckpt.json"))
+
+
+class TestDerivedColumnCache:
+    def test_same_anchor_hits_and_new_anchor_rebuilds(self):
+        cache = DerivedColumnCache()
+        anchor = np.arange(8)
+        builds = []
+
+        def build():
+            builds.append(None)
+            return anchor * 2
+
+        first = cache.get((anchor,), "x2", build)
+        second = cache.get((anchor,), "x2", build)
+        assert first is second
+        assert len(builds) == 1
+        other = np.arange(8)
+        cache.get((other,), "x2", build)
+        assert len(builds) == 2
+
+    def test_tag_distinguishes_parameterisations(self):
+        cache = DerivedColumnCache()
+        anchor = np.arange(4)
+        a = cache.get((anchor,), ("depth", 3), lambda: "d3")
+        b = cache.get((anchor,), ("depth", 7), lambda: "d7")
+        assert (a, b) == ("d3", "d7")
+
+    def test_dead_anchor_is_not_served_to_an_aliased_id(self):
+        cache = DerivedColumnCache()
+        anchor = np.arange(16)
+        cache.get((anchor,), "tag", lambda: "old")
+        del anchor
+        fresh = np.arange(16)
+        # Even if id() were recycled, the weakref revalidation forces a
+        # rebuild rather than serving the dead anchor's value.
+        assert cache.get((fresh,), "tag", lambda: "new") == "new"
+
+    def test_unweakrefable_anchor_bypasses_cache(self):
+        cache = DerivedColumnCache()
+        calls = []
+        for _ in range(2):
+            cache.get((42,), "t", lambda: calls.append(None))
+        assert len(calls) == 2
+
+    def test_int64_column_is_canonical_per_source(self):
+        narrow = np.arange(10, dtype=np.uint16)
+        wide_a = int64_column(narrow)
+        wide_b = int64_column(narrow)
+        assert wide_a is wide_b
+        assert wide_a.dtype == np.int64
+        already = np.arange(10, dtype=np.int64)
+        assert int64_column(already) is already

@@ -61,9 +61,19 @@ class TestIdealExitKernels:
             lambda: IdealPathPredictor(3, automaton=automaton),
         )
 
-    def test_voting_automata_fall_back_to_loop(self, gcc_workload):
-        # VC automata have no batched replay; batch_plan must refuse.
-        predictor = IdealPathPredictor(2, automaton="VC2-MRU")
+    def test_vc2_mru_tabulates(self, gcc_workload):
+        # VC2-MRU's reachable state space is small (49 states), so its
+        # batched replay goes through the tabulated FSM scan.
+        _assert_exit_stats_equal(
+            gcc_workload,
+            lambda: IdealPathPredictor(2, automaton="VC2-MRU"),
+        )
+
+    @pytest.mark.parametrize("automaton", ["VC2-RANDOM", "VC3-MRU"])
+    def test_untabulatable_automata_fall_back(self, gcc_workload, automaton):
+        # RANDOM tie-breaking shares an rng across entries and VC3-MRU's
+        # state space exceeds the tabulation cap; batch_plan must refuse.
+        predictor = IdealPathPredictor(2, automaton=automaton)
         plan = predictor.batch_plan(
             gcc_workload.trace.task_addr, gcc_workload.trace.exit_index
         )
