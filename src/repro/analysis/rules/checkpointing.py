@@ -34,9 +34,14 @@ from repro.analysis.rules._shared import (
 )
 
 #: Modules allowed to arm the fault injector: the injector itself and
-#: the CLI entry point that implements the explicit ``--inject-faults``
-#: opt-in. Tests live outside the scanned roots.
-_FAULT_INSTALL_ALLOWED = ("repro.evalx.faults", "repro.evalx.__main__")
+#: the CLI entry points that implement the explicit ``--inject-faults``
+#: opt-in (single-host evalx and the sweep-service worker). Tests live
+#: outside the scanned roots.
+_FAULT_INSTALL_ALLOWED = (
+    "repro.evalx.faults",
+    "repro.evalx.__main__",
+    "repro.evalx.service.__main__",
+)
 
 #: The env var whose presence arms the injector (kept in sync with
 #: :data:`repro.evalx.faults.ENV_VAR` by a unit test).

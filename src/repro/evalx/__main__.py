@@ -192,6 +192,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    if args.cell_timeout is not None and args.jobs in (None, 1):
+        # resolve_jobs: None/1 = serial, where a cell running in the
+        # parent process cannot be preempted (parallel._execute_serial).
+        print(
+            "warning: --cell-timeout is not enforced on the serial "
+            "path; pass --jobs 2 or more for per-cell deadlines",
+            file=sys.stderr,
+        )
 
     from repro.evalx.metrics import RunMetrics, write_manifest
     from repro.evalx.parallel import RetryPolicy

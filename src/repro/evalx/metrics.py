@@ -37,6 +37,14 @@ Metrics JSONL schema (one record per line, ``event`` discriminates):
     (the plan targets this cell in this experiment) or ``fired``
     (parent-side store corruption applied). Worker-side faults show up
     as ordinary ``cell`` failure records.
+``lease``
+    ``{"event", "ts", "experiment", "cell", "action", "fingerprint",
+    "worker", "job"}`` — one record per sweep-service lease
+    interaction (:mod:`repro.evalx.service.queue`); ``action`` is
+    ``leased`` (fresh claim), ``steal`` (an expired lease was taken
+    over), ``heartbeat`` (renewal), ``released``, ``completed`` (the
+    lease resolved into a checkpoint record), or ``failed`` (the cell's
+    failure became final and a fail marker was written).
 ``interrupt``
     ``{"event", "ts", "experiment", "signal"}`` — the run caught
     SIGINT/SIGTERM, flushed, and is about to re-raise; everything
@@ -185,6 +193,34 @@ class RunMetrics:
             self._done += 1
             self._resumed += 1
             self._draw_progress()
+
+    def lease_event(
+        self,
+        label: str,
+        action: str,
+        fingerprint: str = "",
+        worker: str = "",
+        job: str = "",
+    ) -> None:
+        """Record one sweep-service lease interaction for one cell.
+
+        ``action``: ``leased`` / ``steal`` / ``heartbeat`` /
+        ``released`` / ``completed`` / ``failed``.
+        """
+        record: dict[str, Any] = {
+            "event": "lease",
+            "ts": time.time(),
+            "experiment": self._experiment,
+            "cell": label,
+            "action": action,
+        }
+        if fingerprint:
+            record["fingerprint"] = fingerprint
+        if worker:
+            record["worker"] = worker
+        if job:
+            record["job"] = job
+        self._emit(record)
 
     def fault_event(
         self, label: str, action: str, attempt: int, phase: str

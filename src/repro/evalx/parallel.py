@@ -214,7 +214,11 @@ def _run_cell_instrumented(cell: Cell, attempt: int = 1) -> _CellOutcome:
         payload=payload,
         worker_pid=os.getpid(),
         wall_seconds=wall,
-        cache={k: after[k] - before[k] for k in after if after[k] > before.get(k, 0)},
+        cache={
+            k: after[k] - before.get(k, 0)
+            for k in after
+            if after[k] > before.get(k, 0)
+        },
     )
 
 
@@ -441,7 +445,16 @@ class _PooledRun:
             due = due[:1] if not self.in_flight else []
         for state in due:
             self.queued.remove(state)
-            self._submit(state)
+            try:
+                self._submit(state)
+            except BrokenProcessPool:
+                # The pool broke between a worker death and this submit;
+                # the submitted cell never ran, so it is not charged.
+                state.attempts -= 1
+                state.retry_at = 0.0
+                self.queued.append(state)
+                self._handle_crash([])
+                return
 
     def _tick_seconds(self) -> float | None:
         """How long ``wait`` may block before a deadline needs service."""

@@ -1,0 +1,307 @@
+"""The sweep coordinator: expand jobs, watch progress, combine results.
+
+The coordinator owns the job state machine; workers only ever touch the
+lease queue and the checkpoint store. One ``run_once`` pass:
+
+1. **Expand** every ``submitted`` job — import its experiment driver,
+   build the cell grid, fingerprint each cell (the task id), estimate
+   costs, pack balanced shards, publish the queue manifest, and move
+   the job to ``running``. A sweep whose cells cannot be fingerprinted
+   cannot be distributed and fails immediately with a clear error.
+2. **Finalise** every ``running`` job whose cells have all resolved —
+   load each cell's verified checkpoint record (a corrupt record is
+   discarded exactly as ``--resume`` does, reopening the cell for
+   workers), slot job-scoped fail markers in as
+   :class:`~repro.evalx.parallel.CellFailure` gaps, call the driver's
+   ``combine`` with the cells in submission order, and publish the
+   pickled :class:`~repro.evalx.result.ExperimentResult`.
+
+Because payloads round-trip pickle exactly as checkpoint resume does,
+a job's fetched result is byte-identical to a serial ``run_sharded`` of
+the same grid — regardless of how many workers served it, in what
+order, or how many of them died along the way.
+
+The squash-vs-local-repair discipline the engine follows extends here
+to hosts: losing a worker never squashes the sweep; its leases expire,
+surviving workers re-lease exactly the unfinished cells, and the
+completed records stand.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.evalx.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointKeyError,
+    CheckpointStore,
+    cell_fingerprint,
+)
+from repro.evalx.metrics import RunMetrics
+from repro.evalx.parallel import CellFailure, is_failure
+from repro.evalx.report import render_failures
+from repro.evalx.service import manifest as mf
+from repro.evalx.service.costs import CostModel, shard_cells
+from repro.evalx.service.jobs import JobRecord, JobStatus, JobStore
+from repro.evalx.service.queue import LeaseQueue
+
+#: Default shard count per job when the submitter does not say.
+DEFAULT_SHARDS = 4
+
+
+class Coordinator:
+    """Drives jobs through ``submitted -> running -> done | failed``.
+
+    Args:
+        root: The shared service directory.
+        cost_model: Cell-cost estimates for shard balancing; default
+            uncalibrated (pure trace-length).
+        n_shards: Shards per job (worker-affinity granularity).
+        metrics: Optional recorder for checkpoint/lease events.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        cost_model: CostModel | None = None,
+        n_shards: int = DEFAULT_SHARDS,
+        metrics: RunMetrics | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.jobs = JobStore(self.root)
+        self.store = CheckpointStore(self.root / "store", resume=True)
+        self.queue = LeaseQueue(self.store, metrics=metrics)
+        self.cost_model = cost_model or CostModel()
+        self.n_shards = n_shards
+        self.metrics = metrics or RunMetrics.disabled()
+
+    # -- one scheduling pass ------------------------------------------
+
+    def run_once(self) -> dict[str, int]:
+        """Expand and finalise whatever is ready; returns counts."""
+        expanded = sum(
+            self._expand(record)
+            for record in self.jobs.list_jobs(state="submitted")
+        )
+        finished = sum(
+            self._finalise(record)
+            for record in self.jobs.list_jobs(state="running")
+        )
+        open_jobs = len(self.jobs.list_jobs(state="submitted")) + len(
+            self.jobs.list_jobs(state="running")
+        )
+        return {
+            "expanded": expanded,
+            "finished": finished,
+            "open": open_jobs,
+        }
+
+    def serve(
+        self,
+        poll_seconds: float = 0.5,
+        exit_when_idle: bool = False,
+        max_rounds: int | None = None,
+    ) -> None:
+        """Poll until told to stop (or, optionally, until idle)."""
+        rounds = 0
+        while True:
+            summary = self.run_once()
+            rounds += 1
+            if exit_when_idle and summary["open"] == 0:
+                return
+            if max_rounds is not None and rounds >= max_rounds:
+                return
+            time.sleep(poll_seconds)
+
+    # -- status -------------------------------------------------------
+
+    def status(self, job_id: str) -> JobStatus:
+        """Live cell-level progress for one job."""
+        record = self.jobs.get(job_id)
+        done = failed = leased = 0
+        if record.state in ("running", "done"):
+            try:
+                manifest = mf.read_manifest(self.root, job_id)
+            except mf.ManifestError:
+                manifest = None
+            if manifest is not None:
+                records = self.store.fingerprints()
+                fails = mf.failed_fingerprints(self.root, job_id)
+                live_leases = self.store.leases()
+                for entry in manifest.cells:
+                    if entry.fingerprint in records:
+                        done += 1
+                    elif entry.fingerprint in fails:
+                        failed += 1
+                    elif entry.fingerprint in live_leases:
+                        leased += 1
+        return JobStatus(
+            job_id=record.job_id,
+            state=record.state,
+            tenant=record.spec.tenant,
+            experiment=record.spec.experiment,
+            cells_total=record.cells_total,
+            cells_done=done,
+            cells_failed=failed,
+            cells_leased=leased,
+            shards=record.shards,
+            error=record.error,
+        )
+
+    # -- expansion ----------------------------------------------------
+
+    def _expand(self, record: JobRecord) -> bool:
+        spec = record.spec
+        try:
+            module = importlib.import_module(
+                f"repro.evalx.experiments.{spec.experiment}"
+            )
+            cells = module.cells(n_tasks=spec.n_tasks, quick=spec.quick)
+        except Exception as exc:
+            self.jobs.update(
+                record,
+                state="failed",
+                error=f"cannot expand sweep: {exc!r}",
+            )
+            return False
+        fingerprints = []
+        try:
+            for cell in cells:
+                fingerprints.append(
+                    cell_fingerprint(spec.experiment, cell)
+                )
+        except CheckpointKeyError as exc:
+            self.jobs.update(
+                record,
+                state="failed",
+                error=(
+                    "sweep has unfingerprintable cells and cannot be "
+                    f"distributed: {exc}"
+                ),
+            )
+            return False
+        costs = [
+            self.cost_model.estimate(spec.experiment, cell)
+            for cell in cells
+        ]
+        shards, total = shard_cells(
+            cells, self.n_shards, spec.experiment, self.cost_model
+        )
+        mf.write_manifest(
+            self.root,
+            record.job_id,
+            spec.experiment,
+            cells,
+            fingerprints,
+            costs,
+            shards,
+        )
+        self.jobs.update(
+            record,
+            state="running",
+            cells_total=len(cells),
+            shards=len(shards),
+            estimated_cost=total,
+        )
+        return True
+
+    # -- finalisation -------------------------------------------------
+
+    def _finalise(self, record: JobRecord) -> bool:
+        job_id = record.job_id
+        try:
+            manifest = mf.read_manifest(self.root, job_id)
+        except mf.ManifestError as exc:
+            self.jobs.update(record, state="failed", error=str(exc))
+            return False
+        done = self.store.fingerprints()
+        fails = mf.failed_fingerprints(self.root, job_id)
+        if any(
+            entry.fingerprint not in done
+            and entry.fingerprint not in fails
+            for entry in manifest.cells
+        ):
+            return False  # still in flight
+        results: list = []
+        for entry in manifest.cells:
+            if entry.fingerprint in done:
+                loaded = self.store.load(entry.fingerprint, entry.label)
+                if loaded is None or isinstance(
+                    loaded, CheckpointCorrupt
+                ):
+                    # The bad record was discarded; the cell is open
+                    # again and a worker will redo it. Finalise later.
+                    if isinstance(loaded, CheckpointCorrupt):
+                        self.metrics.checkpoint_event(
+                            entry.label,
+                            "corrupt",
+                            entry.fingerprint,
+                            loaded.reason,
+                        )
+                    return False
+                results.append(loaded.payload)
+                continue
+            failure = mf.read_fail(self.root, job_id, entry.fingerprint)
+            if failure is None:  # marker vanished between the scans
+                return False
+            if not record.spec.keep_going:
+                self.jobs.update(
+                    record,
+                    state="failed",
+                    error=(
+                        f"cell {failure.label!r} failed "
+                        f"({failure.kind} after {failure.attempts} "
+                        f"attempt(s)): {failure.error}"
+                    ),
+                )
+                return False
+            results.append(failure)
+        spec = record.spec
+        cells = [entry.cell for entry in manifest.cells]
+        try:
+            result = manifest_combine(
+                spec.experiment, cells, results, spec.n_tasks, spec.quick
+            )
+        except Exception as exc:
+            self.jobs.update(
+                record, state="failed", error=f"combine failed: {exc!r}"
+            )
+            return False
+        self.jobs.save_result(job_id, result)
+        self.jobs.update(record, state="done")
+        return True
+
+
+def manifest_combine(
+    experiment: str,
+    cells: list,
+    results: list,
+    n_tasks: int | None,
+    quick: bool,
+):
+    """Assemble a distributed job exactly as ``run_sharded`` would.
+
+    Same ``combine`` call, same failure appendix, same
+    ``data["_failed_cells"]`` bookkeeping — this is what makes a fetched
+    job result byte-identical to a local serial run of the same sweep.
+    """
+    module = importlib.import_module(
+        f"repro.evalx.experiments.{experiment}"
+    )
+    result = module.combine(cells, results, n_tasks=n_tasks, quick=quick)
+    failures = tuple(r for r in results if is_failure(r))
+    if failures:
+        result = replace(
+            result,
+            failures=failures,
+            text=result.text + "\n\n" + render_failures(failures),
+        )
+        result.data["_failed_cells"] = [f.label for f in failures]
+    return result
+
+
+# Re-exported for the worker's fail markers.
+__all__ = ["Coordinator", "manifest_combine", "CellFailure"]

@@ -1,0 +1,176 @@
+"""Cost-aware shard partitioning for the sweep service.
+
+The coordinator does not fan cells out blindly: it estimates each
+cell's cost as *trace length x config weight* and packs cells into
+balanced shards with a longest-processing-time greedy. The contract
+follows the hydra partitioner exemplar — a ``shard`` function that
+returns the task lists plus a runtime estimate — translated to this
+engine's cells.
+
+Weights come from real wall-time records: feed
+:meth:`CostModel.from_metrics` one or more
+:class:`~repro.evalx.metrics.RunMetrics` JSONL files and each
+``(experiment, variant)`` (the variant is the cell label's config part,
+e.g. ``PATH`` in ``gcc:PATH``) gets the ratio of its mean wall time to
+the experiment's overall mean. Uncalibrated variants weigh 1.0, which
+degrades to pure trace-length balancing — still far better than one
+shard per cell or round-robin over a grid whose Perfect-predictor cells
+run 10x faster than its PATH cells.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.evalx.parallel import Cell
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One balanced group of cells, the unit of worker affinity.
+
+    Attributes:
+        index: Shard position within its job (stable, 0-based).
+        cell_indices: Positions of this shard's cells in the job's
+            original cell order — results always reassemble by these.
+        estimated_cost: Sum of the member cells' cost estimates, in
+            trace-length units.
+    """
+
+    index: int
+    cell_indices: tuple[int, ...]
+    estimated_cost: float
+
+
+def _variant(label: str) -> str:
+    """The config part of a cell label (``gcc:PATH`` -> ``PATH``)."""
+    return label.rsplit(":", 1)[1] if ":" in label else ""
+
+
+def _cell_tasks(cell: Cell) -> int:
+    """Trace length a cell will process (the cost model's base unit)."""
+    if cell.workload is not None and cell.workload[1]:
+        return int(cell.workload[1])
+    for key in ("tasks", "n_tasks"):
+        value = cell.kwargs.get(key)
+        if isinstance(value, int) and value > 0:
+            return value
+    return 1
+
+
+class CostModel:
+    """Per-cell cost estimates: trace length x calibrated config weight.
+
+    Args:
+        weights: ``(experiment_id, variant) -> weight`` multipliers,
+            typically from :meth:`from_metrics`; missing keys weigh 1.0.
+    """
+
+    def __init__(
+        self, weights: dict[tuple[str, str], float] | None = None
+    ) -> None:
+        self.weights = dict(weights or {})
+
+    @classmethod
+    def from_metrics(
+        cls, paths: Iterable[str | Path] | str | Path
+    ) -> CostModel:
+        """Calibrate config weights from RunMetrics JSONL files.
+
+        Reads every ``cell`` record with ``status == "ok"``, groups the
+        wall times by ``(experiment, variant)``, and sets each group's
+        weight to its mean wall time relative to the experiment's
+        overall mean. Unreadable files and malformed lines are skipped:
+        calibration is an optimisation, never a failure mode.
+        """
+        if isinstance(paths, (str, Path)):
+            paths = [paths]
+        walls: dict[tuple[str, str], list[float]] = defaultdict(list)
+        for path in paths:
+            try:
+                lines = Path(path).read_text(encoding="utf-8").splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or record.get("event") != "cell"
+                    or record.get("status") != "ok"
+                ):
+                    continue
+                try:
+                    wall = float(record["wall_seconds"])
+                    experiment = str(record["experiment"])
+                    variant = _variant(str(record["cell"]))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                walls[(experiment, variant)].append(wall)
+        by_experiment: dict[str, list[float]] = defaultdict(list)
+        for (experiment, _), values in walls.items():
+            by_experiment[experiment].extend(values)
+        weights = {}
+        for (experiment, variant), values in walls.items():
+            overall = sum(by_experiment[experiment]) / len(
+                by_experiment[experiment]
+            )
+            if overall > 0:
+                weights[(experiment, variant)] = (
+                    sum(values) / len(values) / overall
+                )
+        return cls(weights)
+
+    def weight(self, experiment_id: str, label: str) -> float:
+        """Config-weight multiplier for one cell label."""
+        return self.weights.get((experiment_id, _variant(label)), 1.0)
+
+    def estimate(self, experiment_id: str, cell: Cell) -> float:
+        """Estimated cost of one cell, in trace-length units."""
+        return _cell_tasks(cell) * self.weight(experiment_id, cell.label)
+
+
+def shard_cells(
+    cells: Sequence[Cell],
+    n_shards: int,
+    experiment_id: str,
+    cost_model: CostModel | None = None,
+) -> tuple[list[Shard], float]:
+    """Pack cells into at most ``n_shards`` balanced shards.
+
+    Longest-processing-time greedy: cells sorted by descending estimate
+    each go to the currently lightest shard, which keeps the makespan
+    within 4/3 of optimal. Fully deterministic (ties break on cell
+    index, then shard index). Returns the non-empty shards in stable
+    order plus the estimated total cost of the whole grid — the hydra
+    partitioner contract, translated to cells.
+    """
+    model = cost_model or CostModel()
+    costs = [model.estimate(experiment_id, cell) for cell in cells]
+    n_shards = max(1, min(n_shards, len(cells)))
+    loads = [0.0] * n_shards
+    members: list[list[int]] = [[] for _ in range(n_shards)]
+    order = sorted(range(len(cells)), key=lambda i: (-costs[i], i))
+    for i in order:
+        lightest = min(range(n_shards), key=lambda s: (loads[s], s))
+        loads[lightest] += costs[i]
+        members[lightest].append(i)
+    shards = [
+        Shard(
+            index=index,
+            cell_indices=tuple(sorted(chosen)),
+            estimated_cost=loads[at],
+        )
+        for index, (at, chosen) in enumerate(
+            (at, chosen)
+            for at, chosen in enumerate(members)
+            if chosen
+        )
+    ]
+    return shards, float(sum(costs))

@@ -1,0 +1,268 @@
+"""Job records and the async job API's durable state machine.
+
+A job is one submitted sweep. Its record is a small JSON file whose
+``state`` walks ``submitted -> running -> done | failed``:
+
+* ``submitted`` — written by :meth:`JobStore.submit` (any tenant, any
+  host); carries only the sweep spec.
+* ``running`` — the coordinator expanded the sweep into cells, wrote
+  the queue manifest, and workers may now lease.
+* ``done`` — every cell resolved; the combined
+  :class:`~repro.evalx.result.ExperimentResult` sits in
+  ``<id>.result.pkl`` for :meth:`JobStore.fetch`.
+* ``failed`` — a cell's failure became final without ``keep_going``,
+  or the sweep could not be expanded; ``error`` says why.
+
+All writes are atomic (tmp + ``os.replace``), so a coordinator or
+client crash never leaves a half-written record, and concurrent
+``status`` polls always see a consistent state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.evalx.result import ExperimentResult
+
+#: Job records are ``<job_id>.job.json`` under ``<root>/jobs``.
+JOB_SUFFIX = ".job.json"
+
+#: Combined results are pickled next to the record.
+RESULT_SUFFIX = ".result.pkl"
+
+JOB_STATES = ("submitted", "running", "done", "failed")
+
+
+class JobError(ReproError):
+    """A job id is unknown, or an operation is invalid in its state."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one tenant asked the service to run.
+
+    Mirrors the ``run_sharded`` surface so a job's result is
+    byte-identical to a local run of the same sweep.
+    """
+
+    experiment: str
+    n_tasks: int | None = None
+    quick: bool = False
+    keep_going: bool = False
+    retries: int = 0
+    tenant: str = "default"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One poll of a job: state plus live cell-level progress."""
+
+    job_id: str
+    state: str
+    tenant: str
+    experiment: str
+    cells_total: int = 0
+    cells_done: int = 0
+    cells_failed: int = 0
+    cells_leased: int = 0
+    shards: int = 0
+    error: str = ""
+
+    def summary(self) -> str:
+        line = (
+            f"{self.job_id} [{self.state}] {self.experiment} "
+            f"(tenant {self.tenant}): {self.cells_done}/"
+            f"{self.cells_total} cells done"
+        )
+        if self.cells_leased:
+            line += f", {self.cells_leased} leased"
+        if self.cells_failed:
+            line += f", {self.cells_failed} failed"
+        if self.error:
+            line += f" — {self.error}"
+        return line
+
+
+@dataclass
+class JobRecord:
+    """The on-disk job record (state machine + spec + bookkeeping)."""
+
+    job_id: str
+    state: str
+    spec: JobSpec
+    submitted_ts: float
+    cells_total: int = 0
+    shards: int = 0
+    estimated_cost: float = 0.0
+    error: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class JobStore:
+    """Atomic JSON job records under ``<root>/jobs``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.directory = Path(root) / "jobs"
+
+    # -- the tenant-facing API ---------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Durably enqueue a sweep; returns the new job id.
+
+        The id embeds the tenant (readable in listings) plus enough
+        randomness that concurrent submitters on different hosts can
+        never collide.
+        """
+        job_id = f"{spec.tenant}-{os.getpid():x}-{os.urandom(4).hex()}"
+        record = JobRecord(
+            job_id=job_id,
+            state="submitted",
+            spec=spec,
+            submitted_ts=time.time(),
+        )
+        self._write(record)
+        return job_id
+
+    def fetch(self, job_id: str) -> ExperimentResult:
+        """The finished job's combined result.
+
+        Raises :class:`JobError` while the job is still in flight, or
+        with the recorded error when it failed.
+        """
+        record = self.get(job_id)
+        if record.state == "failed":
+            raise JobError(f"job {job_id} failed: {record.error}")
+        if record.state != "done":
+            raise JobError(
+                f"job {job_id} is {record.state}, not done; poll status"
+            )
+        path = self.result_path(job_id)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.PickleError) as exc:
+            raise JobError(
+                f"job {job_id} result unreadable: {exc!r}"
+            ) from exc
+        if not isinstance(result, ExperimentResult):
+            raise JobError(
+                f"job {job_id} result has unexpected type "
+                f"{type(result).__name__}"
+            )
+        return result
+
+    # -- record plumbing ---------------------------------------------
+
+    def path_for(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}{JOB_SUFFIX}"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}{RESULT_SUFFIX}"
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            raw = self.path_for(job_id).read_text(encoding="utf-8")
+            data = json.loads(raw)
+        except FileNotFoundError:
+            raise JobError(f"unknown job {job_id!r}") from None
+        except (OSError, ValueError) as exc:
+            raise JobError(
+                f"job record for {job_id!r} unreadable: {exc}"
+            ) from exc
+        return self._decode(data)
+
+    def list_jobs(self, state: str | None = None) -> list[JobRecord]:
+        """All job records, oldest submission first (the fairness ring
+        and every CLI listing share this order)."""
+        records = []
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"*{JOB_SUFFIX}"):
+                if path.name.startswith("."):
+                    continue
+                try:
+                    records.append(
+                        self._decode(
+                            json.loads(path.read_text(encoding="utf-8"))
+                        )
+                    )
+                except (OSError, ValueError, KeyError):
+                    continue  # torn by a concurrent writer; next poll
+        records.sort(key=lambda r: (r.submitted_ts, r.job_id))
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        return records
+
+    def update(self, record: JobRecord, **fields: Any) -> JobRecord:
+        """Persist a changed record (returns the new value)."""
+        for name, value in fields.items():
+            setattr(record, name, value)
+        if record.state not in JOB_STATES:
+            raise JobError(f"invalid job state {record.state!r}")
+        self._write(record)
+        return record
+
+    def save_result(self, job_id: str, result: ExperimentResult) -> None:
+        """Atomically publish a finished job's combined result."""
+        path = self.result_path(job_id)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def _write(self, record: JobRecord) -> None:
+        data = {
+            "job_id": record.job_id,
+            "state": record.state,
+            "spec": asdict(record.spec),
+            "submitted_ts": record.submitted_ts,
+            "cells_total": record.cells_total,
+            "shards": record.shards,
+            "estimated_cost": record.estimated_cost,
+            "error": record.error,
+            "extra": record.extra,
+        }
+        path = self.path_for(record.job_id)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            tmp.write_text(
+                json.dumps(data, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    @staticmethod
+    def _decode(data: dict) -> JobRecord:
+        spec_data = dict(data.get("spec", {}))
+        spec = JobSpec(
+            experiment=str(spec_data.get("experiment", "?")),
+            n_tasks=spec_data.get("n_tasks"),
+            quick=bool(spec_data.get("quick", False)),
+            keep_going=bool(spec_data.get("keep_going", False)),
+            retries=int(spec_data.get("retries", 0)),
+            tenant=str(spec_data.get("tenant", "default")),
+        )
+        return JobRecord(
+            job_id=str(data["job_id"]),
+            state=str(data["state"]),
+            spec=spec,
+            submitted_ts=float(data.get("submitted_ts", 0.0)),
+            cells_total=int(data.get("cells_total", 0)),
+            shards=int(data.get("shards", 0)),
+            estimated_cost=float(data.get("estimated_cost", 0.0)),
+            error=str(data.get("error", "")),
+            extra=dict(data.get("extra", {})),
+        )

@@ -1,0 +1,214 @@
+"""The queue manifest: one job's cells, fingerprints, and shards.
+
+Written once by the coordinator when it expands a submitted job, read
+by every worker that serves the job. Cells travel as base64 pickles
+(module-level fn by reference + picklable kwargs — the same contract
+the process-pool scheduler relies on), so workers need the same code
+checkout, which a multi-host deployment of this repo has by
+construction.
+
+Final per-cell failures are job-scoped *fail markers* under
+``<root>/queue/<job>/fails/<fingerprint>.json``: unlike results,
+failures are environmental, so they must not be content-addressed into
+the shared store where a later job with the same fingerprint would
+inherit them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.evalx.parallel import Cell, CellFailure
+from repro.evalx.service.costs import Shard
+
+MANIFEST_NAME = "manifest.json"
+
+
+class ManifestError(ReproError):
+    """A queue manifest is missing or unreadable."""
+
+
+@dataclass(frozen=True)
+class ManifestCell:
+    """One cell as listed in a job's manifest."""
+
+    index: int
+    label: str
+    fingerprint: str
+    cost: float
+    cell: Cell
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One expanded job: ordered cells plus their shard grouping."""
+
+    job_id: str
+    experiment: str
+    cells: tuple[ManifestCell, ...]
+    shards: tuple[Shard, ...]
+
+    def shard_cells(self, shard: Shard) -> list[ManifestCell]:
+        return [self.cells[i] for i in shard.cell_indices]
+
+
+def queue_dir(root: str | Path, job_id: str) -> Path:
+    return Path(root) / "queue" / job_id
+
+
+def manifest_path(root: str | Path, job_id: str) -> Path:
+    return queue_dir(root, job_id) / MANIFEST_NAME
+
+
+def write_manifest(
+    root: str | Path,
+    job_id: str,
+    experiment: str,
+    cells: Sequence[Cell],
+    fingerprints: Sequence[str],
+    costs: Sequence[float],
+    shards: Sequence[Shard],
+) -> Path:
+    """Atomically publish a job's expansion for workers to serve."""
+    data = {
+        "job": job_id,
+        "experiment": experiment,
+        "cells": [
+            {
+                "index": index,
+                "label": cell.label,
+                "fingerprint": fingerprints[index],
+                "cost": costs[index],
+                "pickle": base64.b64encode(pickle.dumps(cell)).decode(
+                    "ascii"
+                ),
+            }
+            for index, cell in enumerate(cells)
+        ],
+        "shards": [
+            {
+                "index": shard.index,
+                "cells": list(shard.cell_indices),
+                "estimated_cost": shard.estimated_cost,
+            }
+            for shard in shards
+        ],
+    }
+    path = manifest_path(root, job_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{MANIFEST_NAME}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(data) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def read_manifest(root: str | Path, job_id: str) -> Manifest:
+    """Load a job's manifest (raises :class:`ManifestError` if absent)."""
+    path = manifest_path(root, job_id)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        cells = tuple(
+            ManifestCell(
+                index=int(entry["index"]),
+                label=str(entry["label"]),
+                fingerprint=str(entry["fingerprint"]),
+                cost=float(entry["cost"]),
+                cell=pickle.loads(base64.b64decode(entry["pickle"])),
+            )
+            for entry in data["cells"]
+        )
+        shards = tuple(
+            Shard(
+                index=int(entry["index"]),
+                cell_indices=tuple(int(i) for i in entry["cells"]),
+                estimated_cost=float(entry["estimated_cost"]),
+            )
+            for entry in data["shards"]
+        )
+    except (OSError, ValueError, KeyError, pickle.PickleError) as exc:
+        raise ManifestError(
+            f"queue manifest for job {job_id!r} unreadable: {exc!r}"
+        ) from exc
+    return Manifest(
+        job_id=str(data.get("job", job_id)),
+        experiment=str(data.get("experiment", "?")),
+        cells=cells,
+        shards=shards,
+    )
+
+
+# -- fail markers -----------------------------------------------------
+
+
+def fail_path(root: str | Path, job_id: str, fingerprint: str) -> Path:
+    return queue_dir(root, job_id) / "fails" / f"{fingerprint}.json"
+
+
+def write_fail(
+    root: str | Path, job_id: str, fingerprint: str, failure: CellFailure
+) -> None:
+    """Atomically record one cell's final failure (job-scoped)."""
+    path = fail_path(root, job_id, fingerprint)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{fingerprint}.tmp-{os.getpid()}")
+    body = json.dumps(
+        {
+            "label": failure.label,
+            "kind": failure.kind,
+            "error": failure.error,
+            "attempts": failure.attempts,
+            "wall_seconds": failure.wall_seconds,
+        },
+        sort_keys=True,
+    )
+    try:
+        tmp.write_text(body + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def read_fail(
+    root: str | Path, job_id: str, fingerprint: str
+) -> CellFailure | None:
+    """The cell's final-failure marker, if one was recorded."""
+    try:
+        data = json.loads(
+            fail_path(root, job_id, fingerprint).read_text(
+                encoding="utf-8"
+            )
+        )
+        return CellFailure(
+            label=str(data["label"]),
+            kind=str(data["kind"]),
+            error=str(data["error"]),
+            attempts=int(data["attempts"]),
+            wall_seconds=float(data["wall_seconds"]),
+        )
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def failed_fingerprints(root: str | Path, job_id: str) -> set[str]:
+    """Fingerprints with a recorded final failure for this job."""
+    fails = queue_dir(root, job_id) / "fails"
+    if not fails.is_dir():
+        return set()
+    return {
+        path.stem
+        for path in fails.glob("*.json")
+        if not path.name.startswith(".")
+    }

@@ -1,0 +1,230 @@
+"""Filesystem lease queue layered on the checkpoint store.
+
+A lease is one worker's claim on one cell, written as
+``<fingerprint>.lease.json`` in the same directory as the checkpoint
+record the cell will become. The protocol is deliberately tiny:
+
+* **Acquire** — atomic ``O_EXCL`` create. Exactly one worker wins a
+  fresh claim; everyone else moves on to the next open cell.
+* **Heartbeat** — the owner periodically rewrites the lease (atomic
+  tmp + ``os.replace``) pushing ``expires_at`` forward. A healthy
+  worker's lease never expires, however long the cell runs.
+* **Expiry + steal** — a lease whose ``expires_at`` has passed marks a
+  dead worker (SIGKILL, OOM, lost host). Any worker may steal it by
+  replacing the file with its own claim and re-reading to confirm
+  ownership (last writer wins).
+* **Complete** — the worker persists the cell's checkpoint record and
+  unlinks the lease. A record on disk always outranks any lease.
+
+Leases reduce duplicate work; they do not guard correctness. Results
+are content-addressed and byte-identical regardless of which worker
+computes them, and record publication is an atomic ``os.replace`` — so
+the worst a steal race can cost is one redundant execution, never a
+wrong or torn result. Expiry compares ``expires_at`` against the local
+clock, which is the one cross-host assumption: hosts sharing the
+service directory must also share a reasonably synchronised clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from repro.evalx.checkpoint import CheckpointStore
+from repro.evalx.metrics import RunMetrics
+
+#: Default seconds before an unrenewed lease may be stolen.
+DEFAULT_TTL_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's on-disk claim on one cell."""
+
+    fingerprint: str
+    label: str
+    job: str
+    worker: str
+    expires_at: float
+    created_ts: float
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the claim may be stolen (heartbeats stopped)."""
+        return (time.time() if now is None else now) > self.expires_at
+
+
+class LeaseQueue:
+    """Lease operations over one :class:`CheckpointStore` directory.
+
+    Args:
+        store: The store whose records are the durable "done" state;
+            lease files live next to its records.
+        ttl_seconds: How long a lease stays valid past its last renewal.
+        metrics: Optional recorder; every acquire/steal/heartbeat/
+            release/complete is a ``lease`` event.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        metrics: RunMetrics | None = None,
+    ) -> None:
+        self.store = store
+        self.ttl_seconds = ttl_seconds
+        self.metrics = metrics or RunMetrics.disabled()
+
+    # -- reading ------------------------------------------------------
+
+    def read(self, fingerprint: str) -> Lease | None:
+        """The current lease for a fingerprint, or None.
+
+        An unreadable or truncated lease file (a claim torn by a crash
+        mid-write cannot happen — writes are atomic — but a hand-edited
+        or damaged one can) is treated as expired-at-epoch so it gets
+        stolen rather than wedging the cell forever.
+        """
+        path = self.store.lease_path_for(fingerprint)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            return Lease(
+                fingerprint=fingerprint,
+                label=str(record["label"]),
+                job=str(record["job"]),
+                worker=str(record["worker"]),
+                expires_at=float(record["expires_at"]),
+                created_ts=float(record.get("created_ts", 0.0)),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return Lease(
+                fingerprint=fingerprint,
+                label="?",
+                job="?",
+                worker="?",
+                expires_at=0.0,
+                created_ts=0.0,
+            )
+
+    def state(self, fingerprint: str) -> str:
+        """``done`` / ``leased`` / ``expired`` / ``open`` for one cell."""
+        if self.store.has(fingerprint):
+            return "done"
+        lease = self.read(fingerprint)
+        if lease is None:
+            return "open"
+        return "expired" if lease.expired() else "leased"
+
+    # -- claiming -----------------------------------------------------
+
+    def acquire(
+        self, fingerprint: str, label: str, job: str, worker: str
+    ) -> bool:
+        """Try to claim a cell; True when this worker now owns it.
+
+        Fresh cells are claimed with an exclusive create; an expired
+        lease is stolen with an atomic replace followed by a re-read,
+        so of N racing stealers exactly the last writer proceeds.
+        """
+        if self.store.has(fingerprint):
+            return False
+        path = self.store.lease_path_for(fingerprint)
+        body = self._body(fingerprint, label, job, worker)
+        try:
+            self.store.directory.mkdir(parents=True, exist_ok=True)
+            with open(path, "x", encoding="utf-8") as handle:
+                handle.write(body)
+        except FileExistsError:
+            current = self.read(fingerprint)
+            if current is None:
+                # Released between our create and read; next round.
+                return False
+            if not current.expired():
+                return False
+            if not self._replace(path, fingerprint, body):
+                return False
+            stolen = self.read(fingerprint)
+            if stolen is None or stolen.worker != worker:
+                return False  # lost the steal race to a later writer
+            self.metrics.lease_event(
+                label, "steal", fingerprint, worker=worker, job=job
+            )
+            return True
+        except OSError:
+            return False
+        self.metrics.lease_event(
+            label, "leased", fingerprint, worker=worker, job=job
+        )
+        return True
+
+    def renew(self, fingerprint: str, label: str, job: str, worker: str) -> bool:
+        """Heartbeat: push the owned lease's expiry forward.
+
+        Returns False when this worker no longer owns the lease (it was
+        stolen after an expiry, or the cell completed and the lease is
+        gone) — the caller keeps running regardless, since duplicate
+        execution is harmless, but stops renewing.
+        """
+        current = self.read(fingerprint)
+        if current is None or current.worker != worker:
+            return False
+        path = self.store.lease_path_for(fingerprint)
+        if not self._replace(
+            path, fingerprint, self._body(fingerprint, label, job, worker)
+        ):
+            return False
+        self.metrics.lease_event(
+            label, "heartbeat", fingerprint, worker=worker, job=job
+        )
+        return True
+
+    def release(self, fingerprint: str, worker: str) -> None:
+        """Drop this worker's lease, if it still owns one."""
+        current = self.read(fingerprint)
+        if current is None or current.worker != worker:
+            return
+        try:
+            self.store.lease_path_for(fingerprint).unlink()
+        except OSError:
+            pass
+        self.metrics.lease_event(
+            current.label,
+            "released",
+            fingerprint,
+            worker=worker,
+            job=current.job,
+        )
+
+    # -- internals ----------------------------------------------------
+
+    def _body(
+        self, fingerprint: str, label: str, job: str, worker: str
+    ) -> str:
+        now = time.time()
+        return (
+            json.dumps(
+                {
+                    "fingerprint": fingerprint,
+                    "label": label,
+                    "job": job,
+                    "worker": worker,
+                    "expires_at": now + self.ttl_seconds,
+                    "created_ts": now,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    def _replace(self, path, fingerprint: str, body: str) -> bool:
+        tmp = path.with_name(f".{fingerprint}.lease.tmp-{os.getpid()}")
+        try:
+            tmp.write_text(body, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+        return True

@@ -1,0 +1,278 @@
+"""The sweep worker: fairly lease cells, run them, persist records.
+
+A worker is one process on one host. Each ``run_once``:
+
+1. Picks the running job this worker has served *least* (ties go to
+   the older submission) — the fair round-robin that keeps two tenants'
+   concurrent sweeps interleaving instead of queueing behind each
+   other.
+2. Walks that job's shards in order, preferring to stay on a shard it
+   already works (shard affinity keeps the cost-balanced grouping
+   meaningful) and leases the first open cell: no checkpoint record, no
+   fail marker, no live lease. Expired leases are stolen.
+3. Runs the cell in-process with the engine's retry discipline, under a
+   heartbeat thread that renews the lease for as long as the cell
+   takes.
+4. Publishes the result as an ordinary checkpoint record — the durable
+   "done" bit every other participant polls — and releases the lease.
+   A failure that survives the retry budget becomes a job-scoped fail
+   marker instead.
+
+Chaos hooks: :func:`repro.evalx.faults.fire` runs at the top of every
+cell attempt exactly as in pooled runs (``raise``/``hang``/``kill``),
+and :func:`repro.evalx.faults.fire_worker` runs right after a lease is
+acquired, so a planned ``kill-worker`` fault dies holding a live lease
+— the precise crash the expiry/steal path exists to repair.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.evalx import faults
+from repro.evalx.checkpoint import CheckpointStore
+from repro.evalx.metrics import RunMetrics
+from repro.evalx.parallel import (
+    CellFailure,
+    RetryPolicy,
+    _backoff,
+    _run_cell_instrumented,
+)
+from repro.evalx.service import manifest as mf
+from repro.evalx.service.jobs import JobRecord, JobStore
+from repro.evalx.service.queue import DEFAULT_TTL_SECONDS, LeaseQueue
+
+
+def default_worker_id() -> str:
+    """``host:pid`` — unique per live worker process across hosts."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class Worker:
+    """One lease-and-run loop over a shared service directory.
+
+    Args:
+        root: The shared service directory.
+        worker_id: Lease-ownership identity; defaults to ``host:pid``.
+        ttl_seconds: Lease lifetime between heartbeats.
+        retry: Engine retry policy for in-process attempts (the
+            per-cell timeout is not enforced here, like the serial
+            path; a dead worker is handled by lease expiry instead).
+        metrics: Optional recorder (cell attempts + lease events).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        worker_id: str | None = None,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        retry: RetryPolicy | None = None,
+        metrics: RunMetrics | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.worker_id = worker_id or default_worker_id()
+        self.jobs = JobStore(self.root)
+        self.store = CheckpointStore(self.root / "store", resume=True)
+        self.metrics = metrics or RunMetrics.disabled()
+        self.queue = LeaseQueue(
+            self.store, ttl_seconds=ttl_seconds, metrics=self.metrics
+        )
+        self.retry = retry or RetryPolicy()
+        self._served: dict[str, int] = {}
+        self._shard_affinity: dict[str, int] = {}
+
+    # -- scheduling ---------------------------------------------------
+
+    def _job_ring(self) -> list[JobRecord]:
+        """Running jobs, least-served by this worker first."""
+        running = self.jobs.list_jobs(state="running")
+        return sorted(
+            running,
+            key=lambda r: (
+                self._served.get(r.job_id, 0),
+                r.submitted_ts,
+                r.job_id,
+            ),
+        )
+
+    def _claim(self, job: JobRecord) -> mf.ManifestCell | None:
+        """Lease the next open cell of one job, or None."""
+        try:
+            manifest = mf.read_manifest(self.root, job.job_id)
+        except mf.ManifestError:
+            return None
+        done = self.store.fingerprints()
+        fails = mf.failed_fingerprints(self.root, job.job_id)
+        shards = list(manifest.shards)
+        # Shard affinity: resume the shard this worker last served so
+        # the cost-balanced grouping stays a grouping.
+        preferred = self._shard_affinity.get(job.job_id)
+        if preferred is not None:
+            shards.sort(key=lambda s: (s.index != preferred, s.index))
+        for shard in shards:
+            for entry in manifest.shard_cells(shard):
+                if (
+                    entry.fingerprint in done
+                    or entry.fingerprint in fails
+                ):
+                    continue
+                if self.queue.acquire(
+                    entry.fingerprint,
+                    entry.label,
+                    job.job_id,
+                    self.worker_id,
+                ):
+                    self._shard_affinity[job.job_id] = shard.index
+                    return entry
+        return None
+
+    def run_once(self) -> str | None:
+        """Serve one cell from the fairest job; its label, or None."""
+        for job in self._job_ring():
+            entry = self._claim(job)
+            if entry is None:
+                continue
+            self._served[job.job_id] = (
+                self._served.get(job.job_id, 0) + 1
+            )
+            faults.fire_worker(entry.label)
+            self._execute(job, entry)
+            return entry.label
+        return None
+
+    def serve(
+        self,
+        poll_seconds: float = 0.5,
+        max_cells: int | None = None,
+        idle_rounds: int = 3,
+    ) -> int:
+        """Run cells until ``max_cells`` or the queue stays empty.
+
+        ``idle_rounds`` consecutive empty polls end the loop (pass a
+        large value for a long-lived daemon worker); returns the number
+        of cells this worker completed or finalised as failed.
+        """
+        ran = 0
+        idle = 0
+        while True:
+            label = self.run_once()
+            if label is None:
+                idle += 1
+                if idle >= idle_rounds:
+                    return ran
+                time.sleep(poll_seconds)
+                continue
+            idle = 0
+            ran += 1
+            if max_cells is not None and ran >= max_cells:
+                return ran
+
+    # -- execution ----------------------------------------------------
+
+    def _execute(self, job: JobRecord, entry: mf.ManifestCell) -> None:
+        """Run one leased cell with retries under a heartbeat."""
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat,
+            args=(entry, job.job_id, stop),
+            daemon=True,
+        )
+        beat.start()
+        try:
+            retries = max(self.retry.retries, job.spec.retries)
+            attempts = 0
+            while True:
+                attempts += 1
+                started = time.perf_counter()
+                try:
+                    outcome = _run_cell_instrumented(
+                        entry.cell, attempts
+                    )
+                except Exception as exc:
+                    wall = time.perf_counter() - started
+                    final = attempts > retries
+                    self.metrics.cell_attempt(
+                        entry.label,
+                        status="error",
+                        attempt=attempts,
+                        wall_seconds=wall,
+                        final=final,
+                        worker_pid=os.getpid(),
+                        error=repr(exc),
+                    )
+                    if not final:
+                        time.sleep(_backoff(self.retry, attempts))
+                        continue
+                    mf.write_fail(
+                        self.root,
+                        job.job_id,
+                        entry.fingerprint,
+                        CellFailure(
+                            label=entry.label,
+                            kind="error",
+                            error=repr(exc),
+                            attempts=attempts,
+                            wall_seconds=wall,
+                        ),
+                    )
+                    self.metrics.lease_event(
+                        entry.label,
+                        "failed",
+                        entry.fingerprint,
+                        worker=self.worker_id,
+                        job=job.job_id,
+                    )
+                    return
+                else:
+                    self.metrics.cell_attempt(
+                        entry.label,
+                        status="ok",
+                        attempt=attempts,
+                        wall_seconds=outcome.wall_seconds,
+                        worker_pid=outcome.worker_pid,
+                        cache=outcome.cache,
+                    )
+                    saved = self.store.save(
+                        entry.fingerprint,
+                        entry.label,
+                        job.spec.experiment,
+                        outcome.payload,
+                    )
+                    self.metrics.checkpoint_event(
+                        entry.label,
+                        "saved" if saved else "save-failed",
+                        entry.fingerprint,
+                    )
+                    self.metrics.lease_event(
+                        entry.label,
+                        "completed",
+                        entry.fingerprint,
+                        worker=self.worker_id,
+                        job=job.job_id,
+                    )
+                    return
+        finally:
+            stop.set()
+            beat.join(timeout=5.0)
+            self.queue.release(entry.fingerprint, self.worker_id)
+
+    def _heartbeat(
+        self, entry: mf.ManifestCell, job_id: str, stop: threading.Event
+    ) -> None:
+        """Renew the lease at a third of its TTL until told to stop.
+
+        Losing ownership (someone stole an expired lease while this
+        worker was descheduled) stops renewals but not the cell: its
+        eventual record is byte-identical to the thief's, and whichever
+        lands second is an idempotent overwrite.
+        """
+        interval = max(self.queue.ttl_seconds / 3.0, 0.05)
+        while not stop.wait(interval):
+            if not self.queue.renew(
+                entry.fingerprint, entry.label, job_id, self.worker_id
+            ):
+                return

@@ -6,9 +6,10 @@ trace and static program facts — path-index columns, header tables,
 return-address timelines. Those inputs are ndarrays (unhashable) and
 programs (alive for the whole sweep), so the cache keys on the *object
 identities* of its anchor inputs and holds only weak references to them:
-when a trace or program is garbage-collected its derived columns go too,
-and a recycled ``id`` can never alias a dead anchor because the stored
-weak references are revalidated on every hit.
+entries are evicted least-recently-used first once the cache fills (a
+dead anchor's entry simply ages out), and a recycled ``id`` can never
+alias a dead anchor because the stored weak references are revalidated
+on every hit.
 
 Cached values are shared between callers and must be treated as
 immutable; callers that need a private copy must copy explicitly.
@@ -21,7 +22,7 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
-#: Entry count that triggers a sweep of dead-anchor entries.
+#: Entry-count bound: an insert at this size evicts the LRU entry.
 _PRUNE_THRESHOLD = 256
 
 
@@ -32,9 +33,16 @@ class DerivedColumnCache:
     (trace columns, programs); ``tag`` carries any hashable non-object
     parameters (specs, depths, config tuples). Anchors that cannot be
     weak-referenced simply bypass the cache.
+
+    The cache is bounded: an insert that would exceed
+    ``_PRUNE_THRESHOLD`` entries evicts the least recently used entry
+    first (O(1) per insert). An evicted value is simply rebuilt on the
+    next request.
     """
 
     def __init__(self) -> None:
+        # Insertion/refresh order doubles as recency order: a hit moves
+        # its key to the end, so the front is always the LRU candidate.
         self._entries: dict[tuple, tuple[tuple, Any]] = {}
 
     def get(
@@ -50,6 +58,7 @@ class DerivedColumnCache:
             if all(
                 ref() is anchor for ref, anchor in zip(refs, anchors)
             ):
+                self._entries[key] = self._entries.pop(key)
                 return value
         value = build()
         try:
@@ -57,13 +66,22 @@ class DerivedColumnCache:
         except TypeError:
             return value
         if len(self._entries) >= _PRUNE_THRESHOLD:
-            self._entries = {
-                k: (rs, v)
-                for k, (rs, v) in self._entries.items()
-                if all(r() is not None for r in rs)
-            }
+            self._evict()
         self._entries[key] = (refs, value)
         return value
+
+    def _evict(self) -> None:
+        """Make room by dropping least-recently-used entries.
+
+        Popping from the front is O(1) per insert, unlike the previous
+        dead-anchor-only rebuild, which re-scanned the whole dict on
+        every insert once ≥ ``_PRUNE_THRESHOLD`` entries were *live* —
+        and never shrank it. Dead-anchor entries need no special sweep:
+        they are never refreshed, so they age to the front and fall out
+        here (and their weakrefs never kept the anchors alive anyway).
+        """
+        while len(self._entries) >= _PRUNE_THRESHOLD:
+            self._entries.pop(next(iter(self._entries)))
 
 
 _INT64_CACHE = DerivedColumnCache()

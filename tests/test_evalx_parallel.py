@@ -3,11 +3,20 @@
 from __future__ import annotations
 
 import os
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 from repro.errors import ExperimentError
-from repro.evalx.parallel import Cell, execute_cells, resolve_jobs
+from repro.evalx.metrics import RunMetrics
+from repro.evalx.parallel import (
+    Cell,
+    RetryPolicy,
+    _PooledRun,
+    _run_cell_instrumented,
+    execute_cells,
+    resolve_jobs,
+)
 from repro.evalx.registry import run_experiment
 
 #: Small traces keep the double (serial + parallel) runs cheap.
@@ -85,3 +94,80 @@ class TestJobsBitIdentical:
         )
         assert fanned.data == serial.data
         assert fanned.text == serial.text
+
+
+class _SubmitBrokenPool:
+    """Stands in for a pool whose last worker died just before submit.
+
+    ``ProcessPoolExecutor.submit`` raises ``BrokenProcessPool`` itself
+    once the pool is broken — a different entry point from the usual
+    ``future.result()`` crash surface.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.raised = False
+
+    def submit(self, *args, **kwargs):
+        self.raised = True
+        raise BrokenProcessPool("worker died before this submit")
+
+    def shutdown(self, **kwargs):
+        self._inner.shutdown(**kwargs)
+
+
+class _AttemptRecorder(RunMetrics):
+    """A disabled recorder that remembers every cell attempt."""
+
+    def __init__(self):
+        super().__init__(path=None, progress=False)
+        self.attempts = []
+
+    def cell_attempt(self, label, status, attempt, **kwargs):
+        self.attempts.append((label, attempt, status))
+
+
+class TestSubmitTimeCrash:
+    """A BrokenProcessPool raised *at submit time* must route through
+    crash recovery instead of escaping ``run()`` raw."""
+
+    def test_run_recovers_and_completes(self):
+        cells = [
+            Cell(label=f"c{v}", fn=_square, kwargs={"x": v})
+            for v in (2, 3, 4)
+        ]
+        run = _PooledRun(
+            cells, 2, RetryPolicy(), False, RunMetrics.disabled()
+        )
+        broken = _SubmitBrokenPool(run.pool)
+        run.pool = broken
+        assert run.run() == [4, 9, 16]
+        assert broken.raised
+        # Recovery rebuilt the pool in isolated (exact-attribution) mode.
+        assert run.isolated
+
+    def test_unrun_cell_is_not_charged_an_attempt(self):
+        recorder = _AttemptRecorder()
+        cells = [Cell(label="c", fn=_square, kwargs={"x": 6})]
+        run = _PooledRun(cells, 1, RetryPolicy(), False, recorder)
+        run.pool = _SubmitBrokenPool(run.pool)
+        assert run.run() == [36]
+        # The aborted submit never ran the cell, so the one real run
+        # must count as attempt 1, not 2.
+        assert recorder.attempts == [("c", 1, "ok")]
+
+
+class TestCacheDeltaCounters:
+    def test_counter_born_between_snapshots(self, monkeypatch):
+        """A cache counter that first appears while the cell runs must
+        show up as its own delta, not raise KeyError."""
+        snapshots = iter([{}, {"program_builds": 3, "zero": 0}])
+        monkeypatch.setattr(
+            "repro.evalx.parallel.cache_counters",
+            lambda: dict(next(snapshots)),
+        )
+        outcome = _run_cell_instrumented(
+            Cell(label="c", fn=_square, kwargs={"x": 5})
+        )
+        assert outcome.payload == 25
+        assert outcome.cache == {"program_builds": 3}

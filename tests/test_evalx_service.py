@@ -1,0 +1,407 @@
+"""The distributed sweep service: leases, costs, jobs, end-to-end.
+
+Three properties anchor the suite, mirroring the engine's existing
+fault-tolerance contracts:
+
+* a job fetched from the service equals a serial ``run_sharded`` of the
+  same sweep exactly (``.text`` and ``.data`` equality — the repo's
+  byte-identity criterion for round-tripped results);
+* a dead worker never wedges a sweep: its expired leases are stolen and
+  the surviving workers finish the job;
+* two tenants submitting concurrently get fair interleaving from a
+  shared worker pool, not FIFO starvation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.evalx.checkpoint import CheckpointStore
+from repro.evalx.faults import KILL_EXIT_STATUS
+from repro.evalx.metrics import RunMetrics
+from repro.evalx.parallel import Cell
+from repro.evalx.registry import run_experiment
+from repro.evalx.service import (
+    Coordinator,
+    CostModel,
+    JobSpec,
+    JobStore,
+    LeaseQueue,
+    Worker,
+    shard_cells,
+)
+from repro.evalx.service import manifest as mf
+from repro.evalx.service.__main__ import main as service_main
+from repro.evalx.service.jobs import JobError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Small traces keep the double (serial + service) runs cheap.
+_TASKS = 3_000
+
+
+def _noop() -> None:
+    return None
+
+
+def _queue(tmp_path, ttl=30.0, metrics=None) -> LeaseQueue:
+    store = CheckpointStore(tmp_path / "store", resume=True)
+    return LeaseQueue(store, ttl_seconds=ttl, metrics=metrics)
+
+
+class TestLeaseQueue:
+    FP = "f" * 16  # fingerprint shape is irrelevant to the queue
+
+    def test_exclusive_acquire(self, tmp_path):
+        queue = _queue(tmp_path)
+        assert queue.acquire(self.FP, "gcc", "job1", "w1")
+        assert queue.state(self.FP) == "leased"
+        assert not queue.acquire(self.FP, "gcc", "job1", "w2")
+        assert queue.read(self.FP).worker == "w1"
+
+    def test_release_requires_ownership(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.acquire(self.FP, "gcc", "job1", "w1")
+        queue.release(self.FP, "w2")  # non-owner: no-op
+        assert queue.state(self.FP) == "leased"
+        queue.release(self.FP, "w1")
+        assert queue.state(self.FP) == "open"
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        dead = _queue(tmp_path, ttl=0.05)
+        assert dead.acquire(self.FP, "gcc", "job1", "dead-worker")
+        time.sleep(0.1)
+        live = _queue(tmp_path, ttl=30.0)
+        assert live.state(self.FP) == "expired"
+        assert live.acquire(self.FP, "gcc", "job1", "w2")
+        assert live.read(self.FP).worker == "w2"
+        assert live.state(self.FP) == "leased"
+
+    def test_renew_requires_ownership(self, tmp_path):
+        queue = _queue(tmp_path, ttl=0.2)
+        queue.acquire(self.FP, "gcc", "job1", "w1")
+        first_expiry = queue.read(self.FP).expires_at
+        time.sleep(0.02)
+        assert queue.renew(self.FP, "gcc", "job1", "w1")
+        assert queue.read(self.FP).expires_at > first_expiry
+        assert not queue.renew(self.FP, "gcc", "job1", "w2")
+
+    def test_record_on_disk_outranks_any_lease(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.store.save(self.FP, "gcc", "table2", {"v": 1})
+        assert queue.state(self.FP) == "done"
+        assert not queue.acquire(self.FP, "gcc", "job1", "w1")
+
+    def test_damaged_lease_reads_as_expired(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.store.directory.mkdir(parents=True, exist_ok=True)
+        queue.store.lease_path_for(self.FP).write_text("not json")
+        assert queue.state(self.FP) == "expired"
+        # ... so the cell is stolen rather than wedged forever.
+        assert queue.acquire(self.FP, "gcc", "job1", "w1")
+        assert queue.read(self.FP).worker == "w1"
+
+
+def _metrics_file(tmp_path) -> Path:
+    records = [
+        {"event": "cell", "status": "ok", "experiment": "table4",
+         "cell": "gcc:PATH", "wall_seconds": 9.0},
+        {"event": "cell", "status": "ok", "experiment": "table4",
+         "cell": "gcc:CTL-1", "wall_seconds": 3.0},
+        {"event": "cell", "status": "ok", "experiment": "table4",
+         "cell": "sc:PATH", "wall_seconds": 9.0},
+        {"event": "cell", "status": "ok", "experiment": "table4",
+         "cell": "sc:CTL-1", "wall_seconds": 3.0},
+        # Failed attempts and foreign events must not skew weights.
+        {"event": "cell", "status": "error", "experiment": "table4",
+         "cell": "sc:PATH", "wall_seconds": 500.0},
+        {"event": "lease", "action": "steal", "cell": "sc:PATH"},
+    ]
+    path = tmp_path / "run.jsonl"
+    lines = [json.dumps(record) for record in records] + ["not json"]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestCostModel:
+    def test_calibration_from_metrics(self, tmp_path):
+        model = CostModel.from_metrics(_metrics_file(tmp_path))
+        # Overall mean wall is 6.0s: PATH (9.0s) weighs 1.5, CTL-1 0.5.
+        assert model.weight("table4", "gcc:PATH") == pytest.approx(1.5)
+        assert model.weight("table4", "gcc:CTL-1") == pytest.approx(0.5)
+        # Uncalibrated variants and experiments degrade to weight 1.
+        assert model.weight("table4", "gcc:Perfect") == 1.0
+        assert model.weight("table2", "gcc:PATH") == 1.0
+
+    def test_unreadable_calibration_is_not_fatal(self, tmp_path):
+        model = CostModel.from_metrics(tmp_path / "missing.jsonl")
+        assert model.weight("table4", "gcc:PATH") == 1.0
+
+    def test_estimate_scales_with_trace_length(self):
+        model = CostModel({("table4", "PATH"): 2.0})
+        cell = Cell(
+            label="gcc:PATH", fn=_noop, kwargs={},
+            workload=("gcc", 1000),
+        )
+        assert model.estimate("table4", cell) == pytest.approx(2000.0)
+
+    def test_shards_balance_and_cover(self):
+        cells = [
+            Cell(label=f"c{i}", fn=_noop, kwargs={},
+                 workload=("gcc", tasks))
+            for i, tasks in enumerate([100, 90, 50, 40, 30, 10])
+        ]
+        shards, total = shard_cells(cells, 3, "table2")
+        assert total == pytest.approx(320.0)
+        covered = sorted(i for s in shards for i in s.cell_indices)
+        assert covered == list(range(len(cells)))
+        # LPT keeps the makespan near the 320/3 ~ 107 ideal.
+        assert max(s.estimated_cost for s in shards) <= 120
+        # ... and the packing is deterministic.
+        assert shard_cells(cells, 3, "table2")[0] == shards
+
+    def test_more_shards_than_cells_collapses(self):
+        cells = [
+            Cell(label="only", fn=_noop, kwargs={},
+                 workload=("gcc", 10))
+        ]
+        shards, _ = shard_cells(cells, 8, "table2")
+        assert len(shards) == 1
+        assert shards[0].cell_indices == (0,)
+
+
+class TestJobStore:
+    def test_submit_get_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            JobSpec(experiment="table2", quick=True, tenant="alice")
+        )
+        assert job_id.startswith("alice-")
+        record = store.get(job_id)
+        assert record.state == "submitted"
+        assert record.spec.experiment == "table2"
+        assert record.spec.quick
+
+    def test_fetch_gates_on_state(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.submit(JobSpec(experiment="table2"))
+        with pytest.raises(JobError, match="not done"):
+            store.fetch(job_id)
+        store.update(store.get(job_id), state="failed", error="boom")
+        with pytest.raises(JobError, match="boom"):
+            store.fetch(job_id)
+
+    def test_unknown_job(self, tmp_path):
+        with pytest.raises(JobError, match="unknown"):
+            JobStore(tmp_path).get("nope")
+
+    def test_listing_filters_by_state(self, tmp_path):
+        store = JobStore(tmp_path)
+        ids = {
+            store.submit(JobSpec(experiment="table2"))
+            for _ in range(3)
+        }
+        listed = store.list_jobs()
+        assert {record.job_id for record in listed} == ids
+        store.update(listed[0], state="failed", error="x")
+        assert len(store.list_jobs(state="submitted")) == 2
+        assert len(store.list_jobs(state="failed")) == 1
+
+
+class TestServiceEndToEnd:
+    def test_job_matches_serial_run(self, tmp_path):
+        serial = run_experiment("table2", n_tasks=_TASKS, quick=True)
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        coordinator = Coordinator(tmp_path, n_shards=2)
+        assert coordinator.run_once()["expanded"] == 1
+        status = coordinator.status(job_id)
+        assert status.state == "running"
+        assert status.cells_total > 0
+        served = Worker(tmp_path, worker_id="w1").serve(
+            poll_seconds=0.01, idle_rounds=2
+        )
+        assert served == status.cells_total
+        assert coordinator.run_once()["finished"] == 1
+        result = jobs.fetch(job_id)
+        assert result.text == serial.text
+        assert result.data == serial.data
+        final = coordinator.status(job_id)
+        assert final.state == "done"
+        assert final.cells_done == final.cells_total
+
+    def test_unknown_experiment_fails_the_job(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(JobSpec(experiment="nosuch"))
+        Coordinator(tmp_path).run_once()
+        record = jobs.get(job_id)
+        assert record.state == "failed"
+        assert "cannot expand" in record.error
+        with pytest.raises(JobError):
+            jobs.fetch(job_id)
+
+
+class TestLeaseExpiryReLease:
+    def test_dead_workers_cell_is_stolen_and_finished(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        coordinator = Coordinator(tmp_path)
+        coordinator.run_once()
+        first = mf.read_manifest(tmp_path, job_id).cells[0]
+        # A worker leases a cell, then dies without ever heartbeating.
+        dead = _queue(tmp_path, ttl=0.05)
+        assert dead.acquire(
+            first.fingerprint, first.label, job_id, "dead:1"
+        )
+        time.sleep(0.1)
+        metrics_path = tmp_path / "metrics.jsonl"
+        with RunMetrics(path=metrics_path) as metrics:
+            Worker(
+                tmp_path, worker_id="w2", metrics=metrics
+            ).serve(poll_seconds=0.01, idle_rounds=2)
+        coordinator.run_once()
+        assert jobs.get(job_id).state == "done"
+        events = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        steals = [
+            event for event in events
+            if event.get("event") == "lease"
+            and event.get("action") == "steal"
+        ]
+        assert len(steals) == 1
+        assert steals[0]["worker"] == "w2"
+        assert steals[0]["fingerprint"] == first.fingerprint
+
+
+class TestTenantFairness:
+    def test_single_worker_interleaves_two_tenants(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_a = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=2_000, quick=True,
+                    tenant="alice")
+        )
+        time.sleep(0.01)  # distinct submitted_ts anchors the ring order
+        # Different n_tasks keeps the fingerprints disjoint; identical
+        # sweeps would legitimately share cells through the store.
+        job_b = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=2_002, quick=True,
+                    tenant="bob")
+        )
+        Coordinator(tmp_path).run_once()
+        worker = Worker(tmp_path, worker_id="solo")
+        order = []
+        while True:
+            before = dict(worker._served)
+            if worker.run_once() is None:
+                break
+            order.append(
+                next(
+                    job for job, count in worker._served.items()
+                    if count != before.get(job, 0)
+                )
+            )
+        assert set(order) == {job_a, job_b}
+        assert order[0] == job_a  # the older submission goes first
+        # Strict alternation: the least-served running job always wins,
+        # so neither tenant ever gets two consecutive cells while the
+        # other still has open work.
+        pairs = min(order.count(job_a), order.count(job_b))
+        for i in range(2 * pairs - 1):
+            assert order[i] != order[i + 1], order
+        coordinator = Coordinator(tmp_path)
+        coordinator.run_once()
+        assert jobs.get(job_a).state == "done"
+        assert jobs.get(job_b).state == "done"
+
+
+class TestServiceCLI:
+    def test_submit_rejects_unknown_experiment(self, tmp_path):
+        assert (
+            service_main(["submit", "nosuch", "--dir", str(tmp_path)])
+            == 2
+        )
+
+    def test_submit_status_fetch_cycle(self, tmp_path, capsys):
+        assert service_main([
+            "submit", "table2", "--dir", str(tmp_path),
+            "--tasks", str(_TASKS), "--quick",
+        ]) == 0
+        job_id = capsys.readouterr().out.strip()
+        # Fetch before the job resolves fails fast with a hint.
+        assert (
+            service_main(["fetch", "--dir", str(tmp_path), job_id]) == 3
+        )
+        capsys.readouterr()
+        Coordinator(tmp_path).run_once()
+        Worker(tmp_path, worker_id="w").serve(
+            poll_seconds=0.01, idle_rounds=2
+        )
+        Coordinator(tmp_path).run_once()
+        assert (
+            service_main(["status", "--dir", str(tmp_path), job_id])
+            == 0
+        )
+        assert "[done]" in capsys.readouterr().out
+        assert (
+            service_main(["fetch", "--dir", str(tmp_path), job_id]) == 0
+        )
+        serial = run_experiment("table2", n_tasks=_TASKS, quick=True)
+        # ``fetch`` prints the rendered report (title + body).
+        assert capsys.readouterr().out.rstrip("\n") == str(serial)
+
+
+@pytest.mark.slow
+class TestWorkerKillMidSweep:
+    """SIGKILL-equivalent death of a worker holding a live lease: the
+    survivors must finish the sweep byte-identically to a serial run."""
+
+    def test_killed_worker_sweep_completes_byte_identically(
+        self, tmp_path
+    ):
+        serial = run_experiment("table2", n_tasks=_TASKS, quick=True)
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        coordinator = Coordinator(tmp_path)
+        coordinator.run_once()  # expand, so the chaos plan sees labels
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        victim = subprocess.run(
+            [
+                sys.executable, "-m", "repro.evalx.service", "worker",
+                "--dir", str(tmp_path), "--worker-id", "victim",
+                "--ttl", "0.5", "--poll", "0.05",
+                "--inject-faults", "kill-worker@gcc",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert victim.returncode == KILL_EXIT_STATUS, victim.stderr
+        # The victim died holding a live lease on the gcc cell.
+        leased = CheckpointStore(tmp_path / "store", resume=True).leases()
+        assert leased, "victim should have died mid-lease"
+        time.sleep(0.6)  # let the orphaned lease expire
+        Worker(tmp_path, worker_id="survivor").serve(
+            poll_seconds=0.05, idle_rounds=3
+        )
+        coordinator.run_once()
+        assert jobs.get(job_id).state == "done"
+        result = jobs.fetch(job_id)
+        assert result.text == serial.text
+        assert result.data == serial.data

@@ -31,7 +31,11 @@ from repro.sim.relaxed import simulate_speculative_exit_prediction
 from repro.sim.timing import TimingConfig, simulate_timing
 from repro.sim.timing.detailed import simulate_timing_detailed
 from repro.synth.workloads import load_workload
-from repro.utils.memo import DerivedColumnCache, int64_column
+from repro.utils.memo import (
+    _PRUNE_THRESHOLD,
+    DerivedColumnCache,
+    int64_column,
+)
 
 _TASKS = 4_000
 
@@ -199,6 +203,55 @@ class TestDerivedColumnCache:
         for _ in range(2):
             cache.get((42,), "t", lambda: calls.append(None))
         assert len(calls) == 2
+
+    def test_live_entries_are_bounded_lru(self):
+        cache = DerivedColumnCache()
+        anchors = [np.empty(1) for _ in range(_PRUNE_THRESHOLD * 3)]
+        for i, anchor in enumerate(anchors):
+            cache.get((anchor,), i, lambda i=i: i)
+        # Live anchors alone must not grow the table past the bound.
+        assert len(cache._entries) == _PRUNE_THRESHOLD
+        builds = []
+        # The newest entry is still cached ...
+        cache.get(
+            (anchors[-1],),
+            len(anchors) - 1,
+            lambda: builds.append("rebuilt"),
+        )
+        assert builds == []
+        # ... and the oldest was evicted, so it rebuilds.
+        cache.get((anchors[0],), 0, lambda: builds.append("rebuilt"))
+        assert builds == ["rebuilt"]
+
+    def test_hit_refreshes_recency(self):
+        cache = DerivedColumnCache()
+        keep = np.empty(1)
+        cache.get((keep,), "keep", lambda: "kept")
+        fillers = []
+        for i in range(_PRUNE_THRESHOLD * 2):
+            filler = np.empty(1)
+            fillers.append(filler)
+            cache.get((filler,), i, lambda i=i: i)
+            # Touch the sentinel so every eviction takes a filler.
+            cache.get((keep,), "keep", lambda: "rebuilt")
+        assert cache.get((keep,), "keep", lambda: "rebuilt") == "kept"
+
+    def test_insert_cost_stays_flat_with_live_anchors(self):
+        """Regression: once >= _PRUNE_THRESHOLD *live* entries existed,
+        every insert rescanned the whole (unbounded) table — O(n^2)
+        across a sweep. Eviction must keep inserts O(1)."""
+        import time
+
+        cache = DerivedColumnCache()
+        anchors = [np.empty(0) for _ in range(20_000)]
+        started = time.perf_counter()
+        for i, anchor in enumerate(anchors):
+            cache.get((anchor,), i, lambda: None)
+        elapsed = time.perf_counter() - started
+        assert len(cache._entries) == _PRUNE_THRESHOLD
+        # The quadratic rescan took tens of seconds here; the LRU pop
+        # takes well under one even on a loaded CI box.
+        assert elapsed < 5.0
 
     def test_int64_column_is_canonical_per_source(self):
         narrow = np.arange(10, dtype=np.uint16)
