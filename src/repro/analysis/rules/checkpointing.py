@@ -41,6 +41,7 @@ _FAULT_INSTALL_ALLOWED = (
     "repro.evalx.faults",
     "repro.evalx.__main__",
     "repro.evalx.service.__main__",
+    "repro.evalx.tune",
 )
 
 #: The env var whose presence arms the injector (kept in sync with

@@ -205,7 +205,7 @@ class RunMetrics:
         """Record one sweep-service lease interaction for one cell.
 
         ``action``: ``leased`` / ``steal`` / ``heartbeat`` /
-        ``released`` / ``completed`` / ``failed``.
+        ``released`` / ``completed`` / ``failed`` / ``abandoned``.
         """
         record: dict[str, Any] = {
             "event": "lease",

@@ -39,7 +39,11 @@ EXTENSION_IDS = (
     "ext_gating",
 )
 
-ALL_IDS = EXPERIMENT_IDS + EXTENSION_IDS + ("summary",)
+#: Search drivers: cell grids parameterised by an external engine (the
+#: design-space autotuner dispatches its rungs through these).
+SEARCH_IDS = ("tune_rung",)
+
+ALL_IDS = EXPERIMENT_IDS + EXTENSION_IDS + SEARCH_IDS + ("summary",)
 
 
 def run_experiment(

@@ -60,6 +60,25 @@ def render_failures(failures: Sequence) -> str:
     )
 
 
+def render_frontier(points: Sequence[dict], title: str = "") -> str:
+    """Render one benchmark's Pareto frontier, cheapest point first.
+
+    ``points`` holds the autotuner's frontier dicts (``config``,
+    ``storage_bits``, ``miss_rate``); see :mod:`repro.evalx.tune`.
+    """
+    rows = [
+        [
+            point["config"],
+            f"{point['storage_bits'] / 8192:.1f}KB",
+            format_percent(point["miss_rate"]),
+        ]
+        for point in points
+    ]
+    return render_table(
+        ["Config", "Storage", "Miss rate"], rows, title=title
+    )
+
+
 def render_series(
     x_label: str,
     x_values: Sequence[object],

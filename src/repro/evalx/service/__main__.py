@@ -3,7 +3,8 @@
 Commands::
 
     submit  EXPERIMENT --dir DIR [--tasks N --quick --keep-going
-            --retries N --tenant NAME]          -> prints the job id
+            --retries N --tenant NAME --params JSON]
+                                                -> prints the job id
     status  --dir DIR [JOB_ID]                  -> one line per job
     fetch   --dir DIR JOB_ID [--wait [--timeout S]]
                                                 -> prints the report
@@ -61,6 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--tenant", default="default",
         help="tenant name for fair scheduling across submitters",
+    )
+    submit.add_argument(
+        "--params", default=None, metavar="JSON",
+        help="extra driver keyword arguments as a JSON object (e.g. "
+        '\'{"configs": [...]}\' for a tune_rung job)',
     )
 
     status = sub.add_parser("status", help="poll job progress")
@@ -137,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _cmd_submit(args) -> int:
+    import json
+
     from repro.evalx.registry import ALL_IDS
     from repro.evalx.service.jobs import JobSpec, JobStore
 
@@ -147,6 +155,18 @@ def _cmd_submit(args) -> int:
             file=sys.stderr,
         )
         return 2
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except ValueError as exc:
+            print(f"error: --params is not JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print(
+                "error: --params must be a JSON object", file=sys.stderr
+            )
+            return 2
     job_id = JobStore(args.dir).submit(
         JobSpec(
             experiment=args.experiment,
@@ -155,6 +175,7 @@ def _cmd_submit(args) -> int:
             keep_going=args.keep_going,
             retries=args.retries,
             tenant=args.tenant,
+            params=params,
         )
     )
     print(job_id)

@@ -159,7 +159,9 @@ class Coordinator:
             module = importlib.import_module(
                 f"repro.evalx.experiments.{spec.experiment}"
             )
-            cells = module.cells(n_tasks=spec.n_tasks, quick=spec.quick)
+            cells = module.cells(
+                n_tasks=spec.n_tasks, quick=spec.quick, **spec.params
+            )
         except Exception as exc:
             self.jobs.update(
                 record,
@@ -263,7 +265,12 @@ class Coordinator:
         cells = [entry.cell for entry in manifest.cells]
         try:
             result = manifest_combine(
-                spec.experiment, cells, results, spec.n_tasks, spec.quick
+                spec.experiment,
+                cells,
+                results,
+                spec.n_tasks,
+                spec.quick,
+                params=spec.params,
             )
         except Exception as exc:
             self.jobs.update(
@@ -281,17 +288,22 @@ def manifest_combine(
     results: list,
     n_tasks: int | None,
     quick: bool,
+    params: dict | None = None,
 ):
     """Assemble a distributed job exactly as ``run_sharded`` would.
 
     Same ``combine`` call, same failure appendix, same
     ``data["_failed_cells"]`` bookkeeping — this is what makes a fetched
     job result byte-identical to a local serial run of the same sweep.
+    ``params`` carries the job spec's extra driver keyword arguments,
+    which ``combine`` needs exactly as ``cells`` did.
     """
     module = importlib.import_module(
         f"repro.evalx.experiments.{experiment}"
     )
-    result = module.combine(cells, results, n_tasks=n_tasks, quick=quick)
+    result = module.combine(
+        cells, results, n_tasks=n_tasks, quick=quick, **(params or {})
+    )
     failures = tuple(r for r in results if is_failure(r))
     if failures:
         result = replace(

@@ -21,6 +21,7 @@ run 10x faster than its PATH cells.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
@@ -74,6 +75,11 @@ class CostModel:
         self, weights: dict[tuple[str, str], float] | None = None
     ) -> None:
         self.weights = dict(weights or {})
+        #: How many :meth:`weight` lookups fell back to the default 1.0
+        #: because the ``(experiment, variant)`` pair was never
+        #: calibrated — the observable signal that shard balancing is
+        #: running blind on part of a grid.
+        self.unknown_variant_misses = 0
 
     @classmethod
     def from_metrics(
@@ -117,6 +123,7 @@ class CostModel:
         for (experiment, _), values in walls.items():
             by_experiment[experiment].extend(values)
         weights = {}
+        degraded = set()
         for (experiment, variant), values in walls.items():
             overall = sum(by_experiment[experiment]) / len(
                 by_experiment[experiment]
@@ -125,11 +132,36 @@ class CostModel:
                 weights[(experiment, variant)] = (
                     sum(values) / len(values) / overall
                 )
+            else:
+                # Every wall time rounded to zero (coarse timer): there
+                # is no signal to calibrate from. Degrade to an explicit
+                # uniform weight — the variant stays *known*, so it does
+                # not show up as an unknown-variant miss later — and say
+                # so, instead of silently dropping the experiment from
+                # the model.
+                weights[(experiment, variant)] = 1.0
+                degraded.add(experiment)
+        if degraded:
+            warnings.warn(
+                "cost calibration fell back to uniform weights for "
+                f"{', '.join(sorted(degraded))}: every recorded wall "
+                "time is zero (timer too coarse to rank variants)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return cls(weights)
 
     def weight(self, experiment_id: str, label: str) -> float:
-        """Config-weight multiplier for one cell label."""
-        return self.weights.get((experiment_id, _variant(label)), 1.0)
+        """Config-weight multiplier for one cell label.
+
+        Unknown ``(experiment, variant)`` pairs weigh 1.0 and bump
+        :attr:`unknown_variant_misses` so blind fan-out is observable.
+        """
+        value = self.weights.get((experiment_id, _variant(label)))
+        if value is None:
+            self.unknown_variant_misses += 1
+            return 1.0
+        return value
 
     def estimate(self, experiment_id: str, cell: Cell) -> float:
         """Estimated cost of one cell, in trace-length units."""

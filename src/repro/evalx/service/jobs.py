@@ -49,7 +49,11 @@ class JobSpec:
     """What one tenant asked the service to run.
 
     Mirrors the ``run_sharded`` surface so a job's result is
-    byte-identical to a local run of the same sweep.
+    byte-identical to a local run of the same sweep. ``params`` holds
+    extra driver keyword arguments (e.g. the autotuner's ``configs``
+    and ``benchmarks`` for a ``tune_rung`` job) and must stay
+    JSON-serialisable — it is stored verbatim in the job record and
+    passed to both ``cells`` and ``combine``.
     """
 
     experiment: str
@@ -58,6 +62,7 @@ class JobSpec:
     keep_going: bool = False
     retries: int = 0
     tenant: str = "default"
+    params: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -254,6 +259,7 @@ class JobStore:
             keep_going=bool(spec_data.get("keep_going", False)),
             retries=int(spec_data.get("retries", 0)),
             tenant=str(spec_data.get("tenant", "default")),
+            params=dict(spec_data.get("params") or {}),
         )
         return JobRecord(
             job_id=str(data["job_id"]),

@@ -51,8 +51,13 @@ class Lease:
     created_ts: float
 
     def expired(self, now: float | None = None) -> bool:
-        """Whether the claim may be stolen (heartbeats stopped)."""
-        return (time.time() if now is None else now) > self.expires_at
+        """Whether the claim may be stolen (heartbeats stopped).
+
+        A lease is valid strictly *before* ``expires_at``: at the
+        boundary instant it is already stealable, so a TTL of t seconds
+        never protects a claim for longer than t.
+        """
+        return (time.time() if now is None else now) >= self.expires_at
 
 
 class LeaseQueue:
@@ -72,6 +77,11 @@ class LeaseQueue:
         ttl_seconds: float = DEFAULT_TTL_SECONDS,
         metrics: RunMetrics | None = None,
     ) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be > 0, got {ttl_seconds!r}: a "
+                "non-positive TTL makes every lease born expired"
+            )
         self.store = store
         self.ttl_seconds = ttl_seconds
         self.metrics = metrics or RunMetrics.disabled()

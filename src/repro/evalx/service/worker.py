@@ -52,6 +52,13 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}:{os.getpid()}"
 
 
+#: Consecutive failed lease renewals before a worker concludes it no
+#: longer holds the cell. Three beats at TTL/3 means ownership is
+#: declared lost right around the moment the unrenewed lease actually
+#: expires and becomes stealable.
+RENEW_FAILURE_THRESHOLD = 3
+
+
 class Worker:
     """One lease-and-run loop over a shared service directory.
 
@@ -63,6 +70,9 @@ class Worker:
             per-cell timeout is not enforced here, like the serial
             path; a dead worker is handled by lease expiry instead).
         metrics: Optional recorder (cell attempts + lease events).
+        renew_failure_threshold: Consecutive heartbeat renewal
+            failures after which the worker treats its lease as lost
+            and abandons the cell instead of publishing.
     """
 
     def __init__(
@@ -72,6 +82,7 @@ class Worker:
         ttl_seconds: float = DEFAULT_TTL_SECONDS,
         retry: RetryPolicy | None = None,
         metrics: RunMetrics | None = None,
+        renew_failure_threshold: int = RENEW_FAILURE_THRESHOLD,
     ) -> None:
         self.root = Path(root)
         self.worker_id = worker_id or default_worker_id()
@@ -82,6 +93,7 @@ class Worker:
             self.store, ttl_seconds=ttl_seconds, metrics=self.metrics
         )
         self.retry = retry or RetryPolicy()
+        self.renew_failure_threshold = max(1, renew_failure_threshold)
         self._served: dict[str, int] = {}
         self._shard_affinity: dict[str, int] = {}
 
@@ -174,11 +186,18 @@ class Worker:
     # -- execution ----------------------------------------------------
 
     def _execute(self, job: JobRecord, entry: mf.ManifestCell) -> None:
-        """Run one leased cell with retries under a heartbeat."""
+        """Run one leased cell with retries under a heartbeat.
+
+        When the heartbeat declares the lease lost (``lost`` set after
+        repeated renewal failures), nothing is published: a checkpoint
+        record or fail marker written by a worker that no longer holds
+        the cell would race the worker that re-leased it.
+        """
         stop = threading.Event()
+        lost = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat,
-            args=(entry, job.job_id, stop),
+            args=(entry, job.job_id, stop, lost),
             daemon=True,
         )
         beat.start()
@@ -186,6 +205,9 @@ class Worker:
             retries = max(self.retry.retries, job.spec.retries)
             attempts = 0
             while True:
+                if lost.is_set():
+                    self._abandon(job, entry)
+                    return
                 attempts += 1
                 started = time.perf_counter()
                 try:
@@ -207,6 +229,9 @@ class Worker:
                     if not final:
                         time.sleep(_backoff(self.retry, attempts))
                         continue
+                    if lost.is_set():
+                        self._abandon(job, entry)
+                        return
                     mf.write_fail(
                         self.root,
                         job.job_id,
@@ -236,6 +261,9 @@ class Worker:
                         worker_pid=outcome.worker_pid,
                         cache=outcome.cache,
                     )
+                    if lost.is_set():
+                        self._abandon(job, entry)
+                        return
                     saved = self.store.save(
                         entry.fingerprint,
                         entry.label,
@@ -260,19 +288,48 @@ class Worker:
             beat.join(timeout=5.0)
             self.queue.release(entry.fingerprint, self.worker_id)
 
+    def _abandon(self, job: JobRecord, entry: mf.ManifestCell) -> None:
+        """Walk away from a cell whose lease this worker lost.
+
+        Publishes nothing — no checkpoint record, no fail marker —
+        because whoever re-leases the cell owns its outcome now. The
+        cell stays open (or already belongs to the thief), so no work
+        is lost, only the duplicate publication.
+        """
+        self.metrics.lease_event(
+            entry.label,
+            "abandoned",
+            entry.fingerprint,
+            worker=self.worker_id,
+            job=job.job_id,
+        )
+
     def _heartbeat(
-        self, entry: mf.ManifestCell, job_id: str, stop: threading.Event
+        self,
+        entry: mf.ManifestCell,
+        job_id: str,
+        stop: threading.Event,
+        lost: threading.Event,
     ) -> None:
         """Renew the lease at a third of its TTL until told to stop.
 
-        Losing ownership (someone stole an expired lease while this
-        worker was descheduled) stops renewals but not the cell: its
-        eventual record is byte-identical to the thief's, and whichever
-        lands second is an idempotent overwrite.
+        A renewal can fail because ownership moved (the lease expired
+        while this worker was descheduled and someone stole it) or
+        because the write itself failed (ENOSPC, queue directory
+        removed). Either way the lease is dying under a live worker:
+        after ``renew_failure_threshold`` consecutive failures the
+        thread sets ``lost`` and exits, and the executor abandons the
+        cell instead of publishing a result it no longer owns.
         """
         interval = max(self.queue.ttl_seconds / 3.0, 0.05)
+        failures = 0
         while not stop.wait(interval):
-            if not self.queue.renew(
+            if self.queue.renew(
                 entry.fingerprint, entry.label, job_id, self.worker_id
             ):
+                failures = 0
+                continue
+            failures += 1
+            if failures >= self.renew_failure_threshold:
+                lost.set()
                 return

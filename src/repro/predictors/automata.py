@@ -202,13 +202,21 @@ def make_automaton_factory(
 
     ``rng`` is required for the random tie-break variants; all entries of a
     predictor share the stream, as hardware would share one LFSR.
+
+    The hysteresis family generalises beyond the paper's two points: any
+    ``LEH-<k>`` with ``k >= 1`` names a last-exit automaton with a k-bit
+    confidence counter, which is the hysteresis axis of the design-space
+    search (:mod:`repro.predictors.design_space`).
     """
     if spec == "LE":
         return LastExit
-    if spec == "LEH-1":
-        return lambda: LastExitHysteresis(1)
-    if spec == "LEH-2":
-        return lambda: LastExitHysteresis(2)
+    if spec.startswith("LEH-"):
+        try:
+            hysteresis_bits = int(spec[4:])
+        except ValueError:
+            hysteresis_bits = 0
+        if hysteresis_bits >= 1:
+            return lambda: LastExitHysteresis(hysteresis_bits)
     if spec in ("VC2-MRU", "VC3-MRU"):
         bits = 2 if spec.startswith("VC2") else 3
         return lambda: VotingCounters(bits, tie_break="mru")

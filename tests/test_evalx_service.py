@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.evalx.checkpoint import CheckpointStore
+from repro.evalx.checkpoint import CheckpointStore, cell_fingerprint
 from repro.evalx.faults import KILL_EXIT_STATUS
 from repro.evalx.metrics import RunMetrics
 from repro.evalx.parallel import Cell
@@ -405,3 +405,168 @@ class TestWorkerKillMidSweep:
         result = jobs.fetch(job_id)
         assert result.text == serial.text
         assert result.data == serial.data
+
+
+class TestLeaseExpiryBoundary:
+    """`Lease.expired` pinned at the exact boundary, plus TTL validation."""
+
+    FP = "f" * 16
+
+    def test_lease_is_stealable_at_exactly_expires_at(self, tmp_path):
+        queue = _queue(tmp_path, ttl=5.0)
+        assert queue.acquire(self.FP, "gcc", "job1", "w1")
+        lease = queue.read(self.FP)
+        assert not lease.expired(now=lease.expires_at - 1e-6)
+        # At the boundary instant the TTL has fully elapsed: a lease of
+        # t seconds never protects a claim for longer than t.
+        assert lease.expired(now=lease.expires_at)
+        assert lease.expired(now=lease.expires_at + 1e-6)
+
+    def test_non_positive_ttl_rejected_at_construction(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store", resume=True)
+        for ttl in (0.0, -1.0):
+            with pytest.raises(ValueError, match="ttl_seconds"):
+                LeaseQueue(store, ttl_seconds=ttl)
+
+
+class TestCostModelFallbacks:
+    """Calibration degradation is loud, and blind lookups are counted."""
+
+    def test_all_zero_wall_times_fall_back_to_uniform(self, tmp_path):
+        records = [
+            {"event": "cell", "status": "ok", "experiment": "table4",
+             "cell": "gcc:PATH", "wall_seconds": 0.0},
+            {"event": "cell", "status": "ok", "experiment": "table4",
+             "cell": "gcc:CTL-1", "wall_seconds": 0.0},
+        ]
+        path = tmp_path / "zero.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in records) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.warns(RuntimeWarning, match="uniform"):
+            model = CostModel.from_metrics(path)
+        # The variants stay *known*, at an explicit uniform weight ...
+        assert model.weights[("table4", "PATH")] == 1.0
+        assert model.weights[("table4", "CTL-1")] == 1.0
+        # ... so looking them up is not an unknown-variant miss.
+        assert model.weight("table4", "gcc:PATH") == 1.0
+        assert model.unknown_variant_misses == 0
+
+    def test_unknown_variant_lookups_are_counted(self):
+        model = CostModel({("table4", "PATH"): 2.0})
+        assert model.weight("table4", "gcc:PATH") == 2.0
+        assert model.unknown_variant_misses == 0
+        assert model.weight("table4", "gcc:Perfect") == 1.0
+        assert model.weight("table2", "gcc:PATH") == 1.0
+        assert model.unknown_variant_misses == 2
+
+
+class TestShardCellsProperties:
+    """Property-style guarantees of the LPT packing."""
+
+    @staticmethod
+    def _uniform_cells(n, tasks=50):
+        return [
+            Cell(label=f"c{i}:X", fn=_noop, kwargs={},
+                 workload=("gcc", tasks))
+            for i in range(n)
+        ]
+
+    def test_equal_cost_ties_pack_deterministically(self):
+        cells = self._uniform_cells(13)
+        first = shard_cells(cells, 4, "table2")
+        for _ in range(5):
+            assert shard_cells(cells, 4, "table2") == first
+
+    def test_equal_cost_max_min_load_ratio_bounded(self):
+        for n, m in [(12, 4), (13, 4), (7, 3), (16, 5), (5, 5)]:
+            shards, total = shard_cells(
+                self._uniform_cells(n), m, "table2"
+            )
+            loads = [s.estimated_cost for s in shards]
+            # Equal costs spread ceil/floor: never more than 2x apart.
+            assert max(loads) / min(loads) <= 2.0
+            assert sum(loads) == pytest.approx(total)
+
+    def test_lpt_makespan_bound_holds_for_skewed_costs(self):
+        tasks = [970, 130, 130, 640, 25, 25, 25, 410, 3, 888]
+        cells = [
+            Cell(label=f"c{i}:X", fn=_noop, kwargs={},
+                 workload=("gcc", t))
+            for i, t in enumerate(tasks)
+        ]
+        shards, total = shard_cells(cells, 4, "table2")
+        # Greedy-LPT guarantee: makespan <= mean load + one max cell.
+        assert max(s.estimated_cost for s in shards) <= (
+            total / len(shards) + max(tasks)
+        )
+
+
+class _AlwaysFailRenewQueue(LeaseQueue):
+    """A queue whose heartbeat renewals always fail (ENOSPC stand-in)."""
+
+    def renew(self, fingerprint, label, job, worker):
+        return False
+
+
+def _slow_cell(seconds: float) -> dict:
+    time.sleep(seconds)
+    return {"ok": True}
+
+
+class TestWorkerAbandonsLostLease:
+    """Repeated renewal failure must end in abandonment, not publication.
+
+    Before the fix the heartbeat thread swallowed renewal failures and
+    the worker published anyway — while the silently expired lease let
+    another worker re-lease the same cell and publish too.
+    """
+
+    def test_renew_failures_abandon_the_cell(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(JobSpec(experiment="table2"))
+        record = jobs.get(job_id)
+        cell = Cell(
+            label="gcc:SLOW",
+            fn=_slow_cell,
+            kwargs={"seconds": 0.6},
+            workload=("gcc", 100),
+        )
+        fingerprint = cell_fingerprint("table2", cell)
+        shards, _ = shard_cells([cell], 1, "table2")
+        mf.write_manifest(
+            tmp_path, job_id, "table2", [cell], [fingerprint],
+            [100.0], shards,
+        )
+        jobs.update(record, state="running", cells_total=1, shards=1)
+        metrics_path = tmp_path / "worker.jsonl"
+        with RunMetrics(path=metrics_path) as metrics:
+            worker = Worker(
+                tmp_path,
+                worker_id="w1",
+                ttl_seconds=0.15,
+                metrics=metrics,
+            )
+            worker.queue = _AlwaysFailRenewQueue(
+                worker.store, ttl_seconds=0.15, metrics=metrics
+            )
+            label = worker.run_once()
+        assert label == "gcc:SLOW"
+        # Nothing was published: no checkpoint record, no fail marker.
+        assert not worker.store.has(fingerprint)
+        assert fingerprint not in mf.failed_fingerprints(
+            tmp_path, job_id
+        )
+        events = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        actions = [
+            event["action"]
+            for event in events
+            if event.get("event") == "lease"
+        ]
+        assert "abandoned" in actions
+        assert "completed" not in actions
+        assert "failed" not in actions

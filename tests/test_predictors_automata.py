@@ -141,8 +141,16 @@ class TestFactory:
             assert automaton.predict() in range(4)
 
     def test_unknown_spec_rejected(self):
-        with pytest.raises(PredictorConfigError):
-            make_automaton_factory("LEH-9")
+        for bad in ("XYZ", "LEH-0", "LEH-x", "LEH-", "VC4-MRU"):
+            with pytest.raises(PredictorConfigError):
+                make_automaton_factory(bad)
+
+    def test_generalised_hysteresis_depths_construct(self):
+        # The LEH family is open-ended: any LEH-<k> with k >= 1 is a
+        # valid design-space point (repro.predictors.design_space).
+        for bits in (3, 4, 9):
+            automaton = make_automaton_factory(f"LEH-{bits}")()
+            assert automaton.bits_per_entry() == 2 + bits
 
     def test_factories_make_independent_instances(self):
         factory = make_automaton_factory("LEH-2")
