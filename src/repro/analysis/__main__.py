@@ -2,14 +2,18 @@
 
 Examples::
 
-    python -m repro.analysis                       # scan src/repro
+    python -m repro.analysis             # scan src/repro, tools, benchmarks
     python -m repro.analysis --format json --output report.json
+    python -m repro.analysis --format sarif --output findings.sarif
     python -m repro.analysis --rules DET001,PUR001 src/repro/synth
     python -m repro.analysis --write-baseline      # bootstrap exceptions
+    python -m repro.analysis --prune-stale         # drop fixed entries
     python -m repro.analysis --list-rules
 
-Exit status: 0 when every finding is suppressed or baselined, 1 when
-violations remain (CI gates on this), 2 on usage errors.
+Exit status: 0 when every finding is suppressed or baselined and no
+baseline entry is stale, 1 when violations or stale entries remain (CI
+gates on both; ``--prune-stale`` removes the latter), 2 on usage
+errors.
 """
 
 from __future__ import annotations
@@ -21,11 +25,16 @@ from pathlib import Path
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.core import Finding, all_rules, run_analysis
+from repro.analysis.sarif import to_sarif
 
 REPORT_VERSION = 1
 
 #: Default baseline location, relative to the working directory.
 DEFAULT_BASELINE = Path("tools/analysis_baseline.json")
+
+#: Scanned when no paths are given; entries that do not exist under the
+#: root are skipped silently (explicitly named paths still error).
+DEFAULT_PATHS = ("src/repro", "tools", "benchmarks")
 
 
 def _build_report(
@@ -65,11 +74,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "paths", nargs="*", default=["src/repro"],
-        help="files or directories to scan (default: src/repro)",
+        "paths", nargs="*", default=[],
+        help=(
+            "files or directories to scan (default: "
+            + ", ".join(DEFAULT_PATHS)
+            + "; missing defaults are skipped)"
+        ),
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default text)",
     )
     parser.add_argument(
@@ -95,6 +108,13 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--prune-stale", action="store_true",
+        help=(
+            "rewrite the baseline dropping entries whose finding no "
+            "longer fires (stale entries otherwise exit 1)"
+        ),
+    )
+    parser.add_argument(
         "--rules", metavar="ID,ID", default=None,
         help="comma-separated rule ids to run (default: all)",
     )
@@ -117,11 +137,14 @@ def main(argv: list[str] | None = None) -> int:
 
     root = Path(args.root).resolve()
     paths = []
-    for raw in args.paths:
+    defaulted = not args.paths
+    for raw in args.paths or DEFAULT_PATHS:
         path = Path(raw)
         if not path.is_absolute():
             path = root / path
         if not path.exists():
+            if defaulted:
+                continue  # optional default roots may be absent
             print(
                 f"error: no such path {raw!r}", file=sys.stderr
             )
@@ -165,14 +188,27 @@ def main(argv: list[str] | None = None) -> int:
                 finding
             )
         findings = remaining
+        if args.prune_stale:
+            pruned = baseline.prune_stale(baseline_path)
+            if pruned:
+                print(
+                    f"pruned {len(pruned)} stale baseline entr"
+                    f"{'y' if len(pruned) == 1 else 'ies'} from "
+                    f"{baseline_path}",
+                    file=sys.stderr,
+                )
         stale = baseline.stale_entries()
 
     report = _build_report(findings, baselined, suppressed, stale)
-    payload = json.dumps(report, indent=2) + "\n"
+    if args.format == "sarif":
+        payload = json.dumps(to_sarif(findings, all_rules()), indent=2)
+        payload += "\n"
+    else:
+        payload = json.dumps(report, indent=2) + "\n"
     if args.output:
         Path(args.output).write_text(payload, encoding="utf-8")
 
-    if args.format == "json":
+    if args.format in ("json", "sarif"):
         if not args.output:
             print(payload, end="")
     else:
@@ -184,13 +220,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{counts['baselined']} baselined, "
             f"{counts['suppressed']} suppressed"
         )
-        for entry in stale:
-            print(
-                "stale baseline entry (violation fixed? prune it): "
-                f"{entry.rule} {entry.path} :: {entry.symbol}",
-                file=sys.stderr,
-            )
-    return 1 if findings else 0
+    for entry in stale:
+        print(
+            "stale baseline entry (violation fixed? rerun with "
+            f"--prune-stale): {entry.rule} {entry.path} :: "
+            f"{entry.symbol}",
+            file=sys.stderr,
+        )
+    return 1 if findings or stale else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,25 @@
+"""Rule-agnostic AST helpers usable from the analysis engine itself.
+
+Lives outside :mod:`repro.analysis.rules` so the CFG/dataflow engine
+can use it without importing the rules package (whose ``__init__``
+imports every rule module, several of which import the engine — a
+cycle otherwise). :mod:`repro.analysis.rules._shared` re-exports it for
+the rule modules' convenience.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_call_name(func: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` / ``name`` call targets to a dotted string."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

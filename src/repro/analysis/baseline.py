@@ -97,6 +97,37 @@ class Baseline:
             if entry.key not in self._matched
         ]
 
+    def prune_stale(self, path: Path) -> list[BaselineEntry]:
+        """Rewrite the baseline keeping only entries that matched.
+
+        Call after every finding has been checked through
+        :meth:`matches`. Returns the dropped (stale) entries; their
+        justifications are discarded with them, so pruning is safe to
+        run blindly in CI — a violation that comes back later must be
+        re-justified from scratch.
+        """
+        stale = self.stale_entries()
+        if not stale:
+            return []
+        kept = [e for e in self.entries if e.key in self._matched]
+        entries = [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "symbol": e.symbol,
+                "justification": e.justification,
+            }
+            for e in sorted(
+                kept, key=lambda e: (e.path, e.rule, e.symbol)
+            )
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        self.entries = kept
+        return stale
+
     @staticmethod
     def write(
         path: Path,

@@ -13,6 +13,8 @@ import ast
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+from repro.analysis.astutil import dotted_call_name  # noqa: F401  (re-export)
+
 
 @dataclass
 class ImportMap:
@@ -46,19 +48,6 @@ class ImportMap:
                     local = alias.asname or alias.name
                     imports.names[local] = (node.module, alias.name)
         return imports
-
-
-def dotted_call_name(func: ast.expr) -> str | None:
-    """Flatten ``a.b.c`` / ``name`` call targets to a dotted string."""
-    parts: list[str] = []
-    node = func
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
 
 
 def resolve_dotted(dotted: str, imports: ImportMap) -> str:

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 report rendering for the analysis CLI.
+
+SARIF (Static Analysis Results Interchange Format) is the one format
+code-review UIs ingest natively: uploading the artifact from CI lets
+findings annotate the exact changed lines of a PR diff. The emitted
+document is deliberately minimal — one run, one driver, one result per
+finding — which is the subset every SARIF consumer understands.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.core import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> dict:
+    """The SARIF document for one analysis run.
+
+    Every registered rule is described in the driver metadata (so
+    viewers can show titles/rationales even for rules with no hits);
+    results reference rules by id. Columns are converted from the
+    0-based AST convention to SARIF's 1-based one.
+    """
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.title,
+                                "shortDescription": {
+                                    "text": rule.title
+                                },
+                                "fullDescription": {
+                                    "text": rule.rationale
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path,
+                                        "uriBaseId": "%SRCROOT%",
+                                    },
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                        "partialFingerprints": {
+                            "reproAnalysisSymbol/v1": (
+                                f"{finding.rule}:{finding.path}:"
+                                f"{finding.symbol}"
+                            ),
+                        },
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }

@@ -46,6 +46,7 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.synth.generator import GENERATOR_VERSION
+from repro.utils.fsio import fsync_write_text
 
 #: Bump when the record envelope or fingerprint recipe changes; old
 #: records then miss the store (stale) instead of being misread.
@@ -336,9 +337,7 @@ class CheckpointStore:
         tmp_path = path.with_name(f".{fingerprint}.tmp-{os.getpid()}")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            tmp_path.write_text(
-                json.dumps(record) + "\n", encoding="utf-8"
-            )
+            fsync_write_text(tmp_path, json.dumps(record) + "\n")
             os.replace(tmp_path, path)
         except OSError:
             tmp_path.unlink(missing_ok=True)

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.evalx.result import ExperimentResult
+from repro.utils.fsio import fsync_write_bytes, fsync_write_text
 
 #: Job records are ``<job_id>.job.json`` under ``<root>/jobs``.
 JOB_SUFFIX = ".job.json"
@@ -218,8 +219,7 @@ class JobStore:
         path = self.result_path(job_id)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(result, handle)
+            fsync_write_bytes(tmp, pickle.dumps(result))
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
@@ -241,8 +241,8 @@ class JobStore:
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         self.directory.mkdir(parents=True, exist_ok=True)
         try:
-            tmp.write_text(
-                json.dumps(data, sort_keys=True) + "\n", encoding="utf-8"
+            fsync_write_text(
+                tmp, json.dumps(data, sort_keys=True) + "\n"
             )
             os.replace(tmp, path)
         except OSError:

@@ -27,6 +27,7 @@ from typing import Sequence
 from repro.errors import ReproError
 from repro.evalx.parallel import Cell, CellFailure
 from repro.evalx.service.costs import Shard
+from repro.utils.fsio import fsync_write_text
 
 MANIFEST_NAME = "manifest.json"
 
@@ -105,7 +106,7 @@ def write_manifest(
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{MANIFEST_NAME}.tmp-{os.getpid()}")
     try:
-        tmp.write_text(json.dumps(data) + "\n", encoding="utf-8")
+        fsync_write_text(tmp, json.dumps(data) + "\n")
         os.replace(tmp, path)
     except OSError:
         tmp.unlink(missing_ok=True)
@@ -173,7 +174,7 @@ def write_fail(
         sort_keys=True,
     )
     try:
-        tmp.write_text(body + "\n", encoding="utf-8")
+        fsync_write_text(tmp, body + "\n")
         os.replace(tmp, path)
     except OSError:
         tmp.unlink(missing_ok=True)

@@ -45,7 +45,7 @@ def _rule_ids(findings: list[Finding]) -> list[str]:
 
 
 class TestRuleRegistry:
-    def test_all_sixteen_rules_register_once(self):
+    def test_all_rules_register_once(self):
         rules = all_rules()
         ids = [rule.id for rule in rules]
         assert ids == sorted(ids)
@@ -53,6 +53,9 @@ class TestRuleRegistry:
         assert set(ids) == {
             "CKP001", "CKP002",
             "DET001", "DET002", "DET003", "DET004",
+            "ENV001", "ENV002",
+            "FS001", "FS002", "FS003", "FS004",
+            "LSE001", "LSE002", "LSE003",
             "NPW001", "NPW002", "NPW003",
             "PROT001", "PROT002", "PROT003",
             "PUR001", "PUR002",
@@ -657,6 +660,447 @@ class TestVectorizationRules:
         assert findings == []
 
 
+class TestAtomicityRules:
+    def test_direct_write_to_shared_path_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/store.py": """\
+                def publish(store, cell, text):
+                    path = store.path_for(cell)
+                    path.write_text(text)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS001"])
+        assert _rule_ids(findings) == ["FS001"]
+        assert findings[0].symbol == "publish"
+
+    def test_tmp_plus_replace_idiom_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/store.py": """\
+                import os
+
+
+                def publish(store, cell, text):
+                    path = store.path_for(cell)
+                    tmp = path.with_name(f".{cell}.tmp-{os.getpid()}")
+                    tmp.write_text(text)
+                    os.replace(tmp, path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS001", "FS004"])
+        assert findings == []
+
+    def test_exclusive_create_for_claim_files_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/leases.py": """\
+                def claim(store, cell):
+                    path = store.lease_path_for(cell)
+                    with open(path, "x") as handle:
+                        handle.write("claimed")
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS001"])
+        assert findings == []
+
+    def test_replace_without_fsync_flagged_in_durable_modules(
+        self, tmp_path
+    ):
+        _project(tmp_path, {
+            "evalx/checkpoint.py": """\
+                import json
+                import os
+
+
+                def save(store, cell, record):
+                    path = store.path_for(cell)
+                    tmp = path.with_name(f".{cell}.tmp-{os.getpid()}")
+                    tmp.write_text(json.dumps(record))
+                    os.replace(tmp, path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS002"])
+        assert _rule_ids(findings) == ["FS002"]
+        assert "fsync" in findings[0].message
+
+    def test_fsynced_replace_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/checkpoint.py": """\
+                import json
+                import os
+
+
+                def save(store, cell, record):
+                    path = store.path_for(cell)
+                    tmp = path.with_name(f".{cell}.tmp-{os.getpid()}")
+                    with open(tmp, "w") as handle:
+                        handle.write(json.dumps(record))
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS002"])
+        assert findings == []
+
+    def test_fsync_through_project_helper_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/checkpoint.py": """\
+                import json
+                import os
+
+                from evalx.fsio import fsync_write_text
+
+
+                def save(store, cell, record):
+                    path = store.path_for(cell)
+                    tmp = path.with_name(f".{cell}.tmp-{os.getpid()}")
+                    fsync_write_text(tmp, json.dumps(record))
+                    os.replace(tmp, path)
+                """,
+            "evalx/fsio.py": """\
+                import os
+
+
+                def fsync_write_text(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS002"])
+        assert findings == []
+
+    def test_fsync_outside_durable_scope_not_required(self, tmp_path):
+        # The trace cache is checksummed + regenerated; FS002's scope
+        # excludes it even though FS001/FS004 still apply.
+        _project(tmp_path, {
+            "evalx/tracecache.py": """\
+                import os
+
+
+                def save(store, cell, text):
+                    path = store.path_for(cell)
+                    tmp = path.with_name(f".{cell}.tmp-{os.getpid()}")
+                    tmp.write_text(text)
+                    os.replace(tmp, path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS002"])
+        assert findings == []
+
+    def test_read_modify_write_without_lease_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/registry.py": """\
+                import json
+
+
+                def bump(store, cell):
+                    path = store.path_for(cell)
+                    data = json.loads(path.read_text())
+                    data["count"] += 1
+                    path.write_text(json.dumps(data))
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS003"])
+        assert _rule_ids(findings) == ["FS003"]
+
+    def test_read_modify_write_under_lease_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/registry.py": """\
+                import json
+
+
+                def bump(store, queue, cell):
+                    queue.renew(cell)
+                    path = store.path_for(cell)
+                    data = json.loads(path.read_text())
+                    data["count"] += 1
+                    path.write_text(json.dumps(data))
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS003"])
+        assert findings == []
+
+    def test_replace_from_unknown_source_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/store.py": """\
+                import os
+
+
+                def publish(store, cell, src):
+                    path = store.path_for(cell)
+                    os.replace(src, path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS004"])
+        assert _rule_ids(findings) == ["FS004"]
+        assert "sibling temp" in findings[0].message
+
+    def test_replace_from_shared_temp_name_flagged_as_non_pid(
+        self, tmp_path
+    ):
+        _project(tmp_path, {
+            "evalx/store.py": """\
+                import os
+
+
+                def publish(store, cell, text):
+                    path = store.path_for(cell)
+                    tmp = path.with_name(".record.tmp")
+                    tmp.write_text(text)
+                    os.replace(tmp, path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["FS004"])
+        assert _rule_ids(findings) == ["FS004"]
+        assert "pid" in findings[0].message
+
+    def test_fs_rules_scoped_to_service_code(self, tmp_path):
+        _project(tmp_path, {
+            "scripts/report.py": """\
+                def publish(store, cell, text):
+                    path = store.path_for(cell)
+                    path.write_text(text)
+                """,
+        })
+        findings, _ = _run(
+            tmp_path, ["FS001", "FS002", "FS003", "FS004"]
+        )
+        assert findings == []
+
+
+class TestLeaseRules:
+    def test_publish_without_reconfirm_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def execute(store, cell):
+                    result = _run_cell_instrumented(cell)
+                    store.save(cell, result)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE001"])
+        assert _rule_ids(findings) == ["LSE001"]
+        assert findings[0].symbol == "execute"
+
+    def test_lost_event_guard_confirms_ownership(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def execute(store, cell, lost):
+                    result = _run_cell_instrumented(cell)
+                    if lost.is_set():
+                        return
+                    store.save(cell, result)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE001"])
+        assert findings == []
+
+    def test_truthy_renew_confirms_ownership(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def execute(store, queue, cell):
+                    result = _run_cell_instrumented(cell)
+                    if queue.renew(cell):
+                        store.save(cell, result)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE001"])
+        assert findings == []
+
+    def test_guard_on_one_path_only_still_flagged(self, tmp_path):
+        # The unguarded except arm may publish with a stolen lease.
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def execute(store, queue, cell, lost):
+                    result = _run_cell_instrumented(cell)
+                    try:
+                        value = result.unwrap()
+                    except ValueError:
+                        queue.write_fail(cell)
+                        return
+                    if lost.is_set():
+                        return
+                    store.save(cell, value)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE001"])
+        assert _rule_ids(findings) == ["LSE001"]
+        # The flagged publication is the unguarded fail marker.
+        assert findings[0].line == 6
+
+    def test_release_before_publish_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def finish(store, queue, cell, result):
+                    queue.release(cell)
+                    store.save(cell, result)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE002"])
+        assert _rule_ids(findings) == ["LSE002"]
+
+    def test_publish_then_release_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def finish(store, queue, cell, result):
+                    try:
+                        store.save(cell, result)
+                    finally:
+                        queue.release(cell)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE002"])
+        assert findings == []
+
+    def test_renew_outside_heartbeat_thread_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                def tick(queue, cell):
+                    queue.renew(cell)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE003"])
+        assert _rule_ids(findings) == ["LSE003"]
+
+    def test_renew_inside_registered_heartbeat_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/worker.py": """\
+                import threading
+
+
+                class Worker:
+                    def start(self):
+                        thread = threading.Thread(
+                            target=self._heartbeat, daemon=True
+                        )
+                        thread.start()
+
+                    def _heartbeat(self):
+                        self.queue.renew(self.cell)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["LSE003"])
+        assert findings == []
+
+
+class TestEnvOrderRules:
+    def test_handoff_mutated_between_submits_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/driver.py": """\
+                import os
+
+
+                def sweep(executor, run, cells, plan):
+                    os.environ["REPRO_FAULTS"] = plan
+                    executor.submit(run, cells[0])
+                    os.environ["REPRO_FAULTS"] = "other"
+                    executor.submit(run, cells[1])
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV001"])
+        assert _rule_ids(findings) == ["ENV001"]
+        assert findings[0].line == 7
+
+    def test_restore_after_last_submit_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/driver.py": """\
+                import os
+
+
+                def sweep(executor, run, cells, plan):
+                    previous = os.environ.get("REPRO_FAULTS")
+                    os.environ["REPRO_FAULTS"] = plan
+                    try:
+                        for cell in cells:
+                            executor.submit(run, cell)
+                    finally:
+                        if previous is None:
+                            os.environ.pop("REPRO_FAULTS", None)
+                        else:
+                            os.environ["REPRO_FAULTS"] = previous
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV001"])
+        assert findings == []
+
+    def test_arming_without_restore_flagged(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/driver.py": """\
+                import os
+
+
+                def arm(plan):
+                    os.environ["REPRO_FAULTS"] = plan
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV002"])
+        assert _rule_ids(findings) == ["ENV002"]
+        assert "REPRO_FAULTS" in findings[0].message
+
+    def test_arming_with_reachable_restore_passes(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/driver.py": """\
+                import os
+
+
+                def run_with_plan(run, plan):
+                    previous = os.environ.get("REPRO_FAULTS")
+                    os.environ["REPRO_FAULTS"] = plan
+                    try:
+                        run()
+                    finally:
+                        if previous is None:
+                            os.environ.pop("REPRO_FAULTS", None)
+                        else:
+                            os.environ["REPRO_FAULTS"] = previous
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV002"])
+        assert findings == []
+
+    def test_constant_alias_resolves_to_handoff_key(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/driver.py": """\
+                import os
+
+                CHECKPOINT_ENV = "REPRO_CHECKPOINT_DIR"
+
+
+                def arm(path):
+                    os.environ[CHECKPOINT_ENV] = str(path)
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV002"])
+        assert _rule_ids(findings) == ["ENV002"]
+        assert "REPRO_CHECKPOINT_DIR" in findings[0].message
+
+    def test_arming_modules_are_exempt(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/faults.py": """\
+                import os
+
+
+                def install(plan):
+                    os.environ["REPRO_FAULTS"] = plan
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV002"])
+        assert findings == []
+
+    def test_other_env_vars_ignored(self, tmp_path):
+        _project(tmp_path, {
+            "evalx/driver.py": """\
+                import os
+
+
+                def arm():
+                    os.environ["PYTHONHASHSEED"] = "0"
+                """,
+        })
+        findings, _ = _run(tmp_path, ["ENV001", "ENV002"])
+        assert findings == []
+
+
 class TestSuppressions:
     def test_targeted_noqa_suppresses_only_that_rule(self, tmp_path):
         _project(tmp_path, {
@@ -856,6 +1300,105 @@ class TestCli:
         out = capsys.readouterr().out
         for rule in all_rules():
             assert rule.id in out
+
+    def test_sarif_output_schema(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        sarif_path = tmp_path / "report.sarif"
+        code = analysis_main([
+            "--root", str(root), "--format", "sarif",
+            "--output", str(sarif_path), "sim",
+        ])
+        assert code == 1
+        sarif = json.loads(sarif_path.read_text())
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+        assert {r["id"] for r in driver["rules"]} == {
+            rule.id for rule in all_rules()
+        }
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET003"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "sim/kernel.py"
+        assert location["region"]["startLine"] > 0
+        assert location["region"]["startColumn"] > 0
+        fingerprint = result["partialFingerprints"][
+            "reproAnalysisSymbol/v1"
+        ]
+        assert fingerprint == "DET003:sim/kernel.py:stamp"
+
+    def test_sarif_without_output_prints_to_stdout(
+        self, tmp_path, capsys
+    ):
+        root = self._fixture(tmp_path)
+        analysis_main([
+            "--root", str(root), "--format", "sarif", "sim",
+        ])
+        out = capsys.readouterr().out
+        assert json.loads(out)["version"] == "2.1.0"
+
+    def test_stale_baseline_entry_exits_1(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {
+                    "rule": "DET003", "path": "sim/kernel.py",
+                    "symbol": "stamp",
+                    "justification": "fixture: intentional clock read",
+                },
+                {
+                    "rule": "FS001", "path": "sim/gone.py",
+                    "symbol": "removed_long_ago",
+                    "justification": "fixture: the violation was fixed",
+                },
+            ],
+        }))
+        code = analysis_main([
+            "--root", str(root), "--baseline", str(baseline), "sim",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "removed_long_ago" in err
+
+    def test_prune_stale_rewrites_baseline_and_exits_0(
+        self, tmp_path, capsys
+    ):
+        root = self._fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {
+                    "rule": "DET003", "path": "sim/kernel.py",
+                    "symbol": "stamp",
+                    "justification": "fixture: intentional clock read",
+                },
+                {
+                    "rule": "FS001", "path": "sim/gone.py",
+                    "symbol": "removed_long_ago",
+                    "justification": "fixture: the violation was fixed",
+                },
+            ],
+        }))
+        code = analysis_main([
+            "--root", str(root), "--baseline", str(baseline),
+            "--prune-stale", "sim",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "pruned 1 stale baseline entry" in err
+        payload = json.loads(baseline.read_text())
+        (entry,) = payload["entries"]
+        # The live entry survives with its justification intact.
+        assert entry["symbol"] == "stamp"
+        assert entry["justification"] == (
+            "fixture: intentional clock read"
+        )
 
     def test_write_baseline_bootstraps_file(self, tmp_path, capsys):
         root = self._fixture(tmp_path)

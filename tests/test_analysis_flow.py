@@ -1,0 +1,364 @@
+"""Unit tests for the forward dataflow engine and call summaries.
+
+The engine tests use tiny hand-rolled analyses over fixture functions:
+may-join across branch arms, path-sensitive refinement on labelled
+branch edges, fixpoint convergence through loops, and the guarantee
+that propagation visits every reachable node even when all states are
+empty. The summary tests pin the project-wide path summaries: seed
+producers, wrapper transitivity, write/fsync effects on parameters, and
+the environment-free ``expr_is_shared`` core.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.core import ModuleInfo, Project
+from repro.analysis.dataflow import (
+    Analysis,
+    PathSummary,
+    State,
+    SummaryMap,
+    expr_is_shared,
+    join_states,
+    run_forward,
+    strip_not,
+    summarize_paths,
+)
+
+
+def _cfg(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    assert len(fns) == 1
+    return build_cfg(fns[0])
+
+
+def _project(files: dict[str, str]) -> Project:
+    modules = []
+    for relpath, source in files.items():
+        text = textwrap.dedent(source)
+        modules.append(ModuleInfo(
+            path=None,  # never touched by the summarizer
+            relpath=relpath,
+            dotted=relpath.removesuffix(".py").replace("/", "."),
+            tree=ast.parse(text),
+            lines=text.splitlines(),
+        ))
+    return Project(modules)
+
+
+class _TagAssigns(Analysis):
+    """Toy may-analysis: ``x = tag()`` gives ``x`` the tag ``"tag"``."""
+
+    def transfer(self, node_index: int, cfg: CFG, state: State) -> State:
+        node = cfg.nodes[node_index]
+        stmt = node.stmt
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+        ):
+            out = dict(state)
+            out[stmt.targets[0].id] = frozenset({stmt.value.func.id})
+            return out
+        return state
+
+
+def _state_at(cfg: CFG, states: list[State], marker: str) -> State:
+    for node in cfg.statement_nodes():
+        if marker in ast.unparse(node.stmt).splitlines()[0]:
+            return states[node.index]
+    raise AssertionError(marker)
+
+
+class TestJoin:
+    def test_join_is_pointwise_union(self):
+        a = {"x": frozenset({"t1"}), "y": frozenset({"t2"})}
+        b = {"x": frozenset({"t3"})}
+        joined = join_states(a, b)
+        assert joined == {
+            "x": frozenset({"t1", "t3"}),
+            "y": frozenset({"t2"}),
+        }
+        # Inputs untouched.
+        assert a["x"] == frozenset({"t1"})
+
+
+class TestRunForward:
+    def test_branch_arms_union_at_the_join(self):
+        cfg = _cfg("""\
+            def fn(flag):
+                if flag:
+                    x = red()
+                else:
+                    x = blue()
+                sink(x)
+            """)
+        states = run_forward(cfg, _TagAssigns())
+        at_sink = _state_at(cfg, states, "sink(x)")
+        assert at_sink["x"] == frozenset({"red", "blue"})
+
+    def test_strong_update_replaces_prior_tags_on_a_path(self):
+        cfg = _cfg("""\
+            def fn():
+                x = red()
+                x = blue()
+                sink(x)
+            """)
+        states = run_forward(cfg, _TagAssigns())
+        assert _state_at(cfg, states, "sink(x)")["x"] == frozenset(
+            {"blue"}
+        )
+
+    def test_loop_accumulates_to_a_fixpoint(self):
+        cfg = _cfg("""\
+            def fn(n):
+                x = red()
+                while n:
+                    x = blue()
+                sink(x)
+            """)
+        states = run_forward(cfg, _TagAssigns())
+        # Zero or more iterations: both tags may reach the sink.
+        assert _state_at(cfg, states, "sink(x)")["x"] == frozenset(
+            {"red", "blue"}
+        )
+
+    def test_empty_states_still_propagate_visits(self):
+        # Regression: with no tags anywhere the join never changes, but
+        # every reachable node must still get its IN state computed
+        # (the engine once stalled at the entry node here).
+        cfg = _cfg("""\
+            def fn():
+                a = 1
+                if a:
+                    b = 2
+                sink(b)
+            """)
+
+        seen: list[int] = []
+
+        class _Recorder(Analysis):
+            def transfer(
+                self, node_index: int, cfg: CFG, state: State
+            ) -> State:
+                seen.append(node_index)
+                return state
+
+        run_forward(cfg, _Recorder())
+        reachable = {
+            node.index
+            for node in cfg.statement_nodes()
+        }
+        assert reachable <= set(seen)
+
+    def test_refinement_sharpens_one_arm_only(self):
+        cfg = _cfg("""\
+            def fn(lost):
+                x = tainted()
+                if lost.is_set():
+                    true_arm(x)
+                else:
+                    false_arm(x)
+            """)
+
+        class _ClearOnFalse(_TagAssigns):
+            def refine(
+                self, cond: ast.expr, polarity: bool, state: State
+            ) -> State:
+                inner, flipped = strip_not(cond)
+                truthy = polarity != flipped
+                if not truthy:
+                    out = dict(state)
+                    out.pop("x", None)
+                    return out
+                return state
+
+        states = run_forward(cfg, _ClearOnFalse())
+        assert _state_at(cfg, states, "true_arm(x)")["x"] == frozenset(
+            {"tainted"}
+        )
+        assert "x" not in _state_at(cfg, states, "false_arm(x)")
+
+    def test_refinement_sees_through_not(self):
+        cfg = _cfg("""\
+            def fn(lost):
+                x = tainted()
+                if not lost.is_set():
+                    safe(x)
+            """)
+
+        class _ClearWhenNotSet(_TagAssigns):
+            def refine(
+                self, cond: ast.expr, polarity: bool, state: State
+            ) -> State:
+                inner, flipped = strip_not(cond)
+                truthy = polarity != flipped
+                # Ownership confirmed when is_set() is falsy.
+                if not truthy:
+                    out = dict(state)
+                    out.pop("x", None)
+                    return out
+                return state
+
+        states = run_forward(cfg, _ClearWhenNotSet())
+        assert "x" not in _state_at(cfg, states, "safe(x)")
+
+
+class TestStripNot:
+    def test_plain_condition_is_unflipped(self):
+        cond = ast.parse("x", mode="eval").body
+        inner, flipped = strip_not(cond)
+        assert inner is cond
+        assert flipped is False
+
+    def test_single_and_double_negation(self):
+        single = ast.parse("not x", mode="eval").body
+        inner, flipped = strip_not(single)
+        assert isinstance(inner, ast.Name)
+        assert flipped is True
+        double = ast.parse("not not x", mode="eval").body
+        inner, flipped = strip_not(double)
+        assert isinstance(inner, ast.Name)
+        assert flipped is False
+
+
+class TestSummaries:
+    def test_seed_producer_and_transitive_wrapper(self):
+        project = _project({
+            "svc/store.py": """\
+                def record_path(store, cell):
+                    return store.path_for(cell)
+
+                def unrelated(store):
+                    return 42
+                """,
+        })
+        summaries = summarize_paths(project)
+        assert summaries.is_producer("path_for")
+        assert summaries.is_producer("record_path")
+        assert not summaries.is_producer("unrelated")
+
+    def test_write_and_fsync_effects_on_parameters(self):
+        project = _project({
+            "svc/io.py": """\
+                import os
+
+
+                def plain_write(path, text):
+                    path.write_text(text)
+
+
+                def durable_write(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                """,
+        })
+        summaries = summarize_paths(project)
+        plain = summaries.get("plain_write")
+        assert plain.writes_params == {0}
+        assert plain.syncs_params == set()
+        durable = summaries.get("durable_write")
+        assert durable.writes_params == {0}
+        assert durable.syncs_params == {0}
+
+    def test_wrapper_inherits_callee_effects(self):
+        project = _project({
+            "svc/io.py": """\
+                import os
+
+
+                def durable_write(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                        os.fsync(handle.fileno())
+
+
+                def save_record(target, payload):
+                    durable_write(target, payload)
+                """,
+        })
+        summaries = summarize_paths(project)
+        wrapper = summaries.get("save_record")
+        assert wrapper.writes_params == {0}
+        assert wrapper.syncs_params == {0}
+
+    def test_self_parameter_is_skipped(self):
+        project = _project({
+            "svc/store.py": """\
+                class Store:
+                    def save(self, path, text):
+                        path.write_text(text)
+                """,
+        })
+        summaries = summarize_paths(project)
+        assert summaries.get("save").writes_params == {0}
+
+    def test_name_collisions_merge_conservatively(self):
+        project = _project({
+            "a.py": """\
+                def save(path):
+                    path.write_text("x")
+                """,
+            "b.py": """\
+                def save(path):
+                    return 1
+                """,
+        })
+        summaries = summarize_paths(project)
+        assert summaries.get("save").writes_params == {0}
+
+    def test_path_summary_merge(self):
+        a = PathSummary(returns_shared=False, writes_params={0})
+        b = PathSummary(returns_shared=True, syncs_params={1})
+        a.merge(b)
+        assert a.returns_shared
+        assert a.writes_params == {0}
+        assert a.syncs_params == {1}
+
+
+class TestExprIsShared:
+    def _expr(self, text: str) -> ast.expr:
+        return ast.parse(text, mode="eval").body
+
+    def test_producer_calls_and_joins(self):
+        summaries = SummaryMap()
+        assert expr_is_shared(
+            self._expr("store.path_for(cell)"), summaries
+        )
+        assert expr_is_shared(
+            self._expr("store.directory / 'x.json'"), summaries
+        )
+        assert expr_is_shared(
+            self._expr("store.path_for(cell).with_name('t.tmp')"),
+            summaries,
+        )
+        assert expr_is_shared(
+            self._expr("store.path_for(cell).parent"), summaries
+        )
+
+    def test_non_shared_expressions(self):
+        summaries = SummaryMap()
+        assert not expr_is_shared(self._expr("tmpdir / 'x'"), summaries)
+        assert not expr_is_shared(self._expr("compute(cell)"), summaries)
+        assert not expr_is_shared(self._expr("path"), summaries)
+
+    def test_registered_wrapper_counts_as_producer(self):
+        summaries = SummaryMap()
+        summaries.add("record_path", PathSummary(returns_shared=True))
+        assert expr_is_shared(
+            self._expr("record_path(store, cell)"), summaries
+        )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

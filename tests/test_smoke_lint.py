@@ -1,0 +1,142 @@
+"""Tests for tools/smoke_lint.py — CI kill-window discipline lint.
+
+The linter guards the chaos/tune/service smoke jobs against two
+regressions: SIGKILLing an unpinned victim (a fast runner finishes the
+sweep before the kill lands, so the recovery assertion silently tests
+nothing) and pattern kills (``pkill -f`` matching the invoking shell or
+an unrelated run). The committed workflow must lint clean.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "smoke_lint", REPO_ROOT / "tools" / "smoke_lint.py"
+)
+smoke_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(smoke_lint)
+
+
+GOOD_STEP = textwrap.dedent("""\
+    jobs:
+      smoke:
+        steps:
+          - name: Kill a checkpointed run mid-sweep
+            run: |
+              python -m repro.evalx table2 --checkpoint-dir ckpt \\
+                --inject-faults 'hang(300)@xlisp' --fault-seed 7 &
+              victim=$!
+              sleep 5
+              kill -9 "$victim" || true
+              wait "$victim" || true
+    """)
+
+
+def _lint(text: str) -> list[str]:
+    steps = smoke_lint.split_steps(text)
+    problems: list[str] = []
+    for name, body in steps:
+        problems.extend(smoke_lint.lint_step(name, body))
+    return problems
+
+
+class TestSplitSteps:
+    def test_steps_split_on_name_lines(self):
+        text = textwrap.dedent("""\
+            jobs:
+              a:
+                steps:
+                  - name: First
+                    run: echo one
+                  - name: Second
+                    run: echo two
+            """)
+        steps = smoke_lint.split_steps(text)
+        assert [name for name, _ in steps] == ["First", "Second"]
+        assert "echo one" in steps[0][1]
+        assert "echo two" in steps[1][1]
+        assert "echo two" not in steps[0][1]
+
+    def test_quoted_names_are_unquoted(self):
+        steps = smoke_lint.split_steps('  - name: "Quoted step"\n')
+        assert steps[0][0] == "Quoted step"
+
+
+class TestLintStep:
+    def test_pinned_pid_targeted_kill_passes(self):
+        assert _lint(GOOD_STEP) == []
+
+    def test_pkill_dash_f_is_banned(self):
+        problems = _lint(GOOD_STEP.replace(
+            'kill -9 "$victim" || true', "pkill -f repro.evalx || true"
+        ))
+        assert any("pkill -f" in p for p in problems)
+
+    def test_kill_without_hang_pin_flagged(self):
+        problems = _lint(GOOD_STEP.replace(
+            "--inject-faults 'hang(300)@xlisp' --fault-seed 7 ", ""
+        ))
+        assert any("hang(" in p for p in problems)
+
+    def test_kill_of_non_variable_target_flagged(self):
+        problems = _lint(GOOD_STEP.replace(
+            'kill -9 "$victim" || true',
+            "kill -9 $(pgrep -x python) || true",
+        ))
+        assert any("non-variable target" in p for p in problems)
+
+    def test_kill_without_pid_capture_flagged(self):
+        problems = _lint(GOOD_STEP.replace("victim=$!", "true"))
+        assert any("$!" in p for p in problems)
+
+    def test_kill_dash_kill_spelling_also_checked(self):
+        problems = _lint(GOOD_STEP.replace(
+            "--inject-faults 'hang(300)@xlisp' --fault-seed 7 ", ""
+        ).replace('kill -9 "$victim"', 'kill -KILL "$victim"'))
+        assert any("hang(" in p for p in problems)
+
+    def test_plain_term_kill_is_not_policed(self):
+        # TERM shutdowns (coordinator teardown) are orderly; only
+        # SIGKILL needs the pinned-victim discipline.
+        problems = _lint(textwrap.dedent("""\
+            jobs:
+              smoke:
+                steps:
+                  - name: Stop coordinator
+                    run: |
+                      coordinator=$!
+                      kill "$coordinator" || true
+            """))
+        assert problems == []
+
+
+class TestMain:
+    def test_committed_workflow_lints_clean(self, capsys):
+        workflow = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+        code = smoke_lint.main([str(workflow)])
+        assert code == 0, capsys.readouterr().err
+
+    def test_violating_file_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yml"
+        bad.write_text(GOOD_STEP.replace(
+            'kill -9 "$victim" || true', "pkill -f repro.evalx || true"
+        ))
+        assert smoke_lint.main([str(bad)]) == 1
+        assert "pkill -f" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path):
+        assert smoke_lint.main([str(tmp_path / "nope.yml")]) == 2
+
+    def test_no_arguments_exits_2(self):
+        assert smoke_lint.main([]) == 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
