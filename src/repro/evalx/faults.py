@@ -29,7 +29,10 @@ when fewer than the matches, victims are chosen by a deterministic
 seeded draw over the *sorted* labels, so the same spec + seed + grid
 always picks the same cells regardless of scheduling order; ``ATTEMPT``
 is the 1-based attempt the fault fires on (default 1, so retries
-succeed). ``SECONDS`` is required for ``hang`` and ignored elsewhere.
+succeed), and ``~0`` is the any-attempt wildcard — the fault fires on
+*every* attempt, which is how a chaos campaign models a poison cell
+that kills each worker that ever leases it (``kill-worker@gcc~0``).
+``SECONDS`` is required for ``hang`` and ignored elsewhere.
 
 Examples::
 
@@ -289,7 +292,7 @@ def fire(label: str, attempt: int) -> None:
     for trigger in plan.triggers:
         if (
             trigger.label == label
-            and trigger.attempt == attempt
+            and trigger.attempt in (0, attempt)
             and trigger.action in WORKER_ACTIONS
         ):
             if trigger.action == "raise":
@@ -310,7 +313,10 @@ def fire_worker(label: str, attempt: int = 1) -> None:
     before the cell runs — the distributed analogue of a remote host
     dying mid-task. The worker's lease stays on disk, expires, and is
     stolen by a surviving worker, which is exactly the recovery path the
-    chaos harness needs to drive. Inert unless a plan is installed.
+    chaos harness needs to drive. ``attempt`` is the lease generation
+    (the cross-steal attempt counter), so ``~N`` targets the Nth worker
+    to lease the cell and ``~0`` targets every one — a poison cell.
+    Inert unless a plan is installed.
     """
     if not os.environ.get(ENV_VAR):
         return
@@ -320,7 +326,7 @@ def fire_worker(label: str, attempt: int = 1) -> None:
     for trigger in plan.triggers:
         if (
             trigger.label == label
-            and trigger.attempt == attempt
+            and trigger.attempt in (0, attempt)
             and trigger.action == "kill-worker"
         ):
             os._exit(KILL_EXIT_STATUS)

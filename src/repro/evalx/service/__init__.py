@@ -51,19 +51,28 @@ from __future__ import annotations
 
 from repro.evalx.service.coordinator import Coordinator
 from repro.evalx.service.costs import CostModel, Shard, shard_cells
-from repro.evalx.service.jobs import JobSpec, JobStatus, JobStore
+from repro.evalx.service.jobs import (
+    TERMINAL_STATES,
+    JobError,
+    JobSpec,
+    JobStatus,
+    JobStore,
+)
 from repro.evalx.service.queue import Lease, LeaseQueue
-from repro.evalx.service.worker import Worker
+from repro.evalx.service.worker import DEFAULT_MAX_LEASE_ATTEMPTS, Worker
 
 __all__ = [
     "Coordinator",
     "CostModel",
+    "DEFAULT_MAX_LEASE_ATTEMPTS",
+    "JobError",
     "JobSpec",
     "JobStatus",
     "JobStore",
     "Lease",
     "LeaseQueue",
     "Shard",
+    "TERMINAL_STATES",
     "Worker",
     "shard_cells",
 ]

@@ -3,25 +3,37 @@
 Commands::
 
     submit  EXPERIMENT --dir DIR [--tasks N --quick --keep-going
-            --retries N --tenant NAME --params JSON]
+            --retries N --tenant NAME --params JSON --job-timeout S]
                                                 -> prints the job id
     status  --dir DIR [JOB_ID]                  -> one line per job
     fetch   --dir DIR JOB_ID [--wait [--timeout S]]
                                                 -> prints the report
+    cancel  --dir DIR JOB_ID [--reason TEXT --metrics FILE]
+                                                -> terminal `cancelled`
     coordinator --dir DIR [--poll S --shards N --exit-when-idle
-            --rounds N --calibrate-metrics FILE... --metrics FILE]
+            --rounds N --calibrate-metrics FILE... --metrics FILE
+            --inject-faults SPEC --fault-seed N]
     worker  --dir DIR [--worker-id ID --ttl S --poll S --max-cells N
             --idle-rounds N --retries N --retry-backoff S
-            --metrics FILE --inject-faults SPEC --fault-seed N]
+            --max-lease-attempts N --metrics FILE
+            --inject-faults SPEC --fault-seed N]
 
 The console scripts ``repro-sweep``, ``repro-sweep-coordinator`` and
 ``repro-sweep-worker`` map to the same commands.
+
+The worker and coordinator loops drain gracefully: the first
+SIGTERM/SIGINT finishes (or abandons) the in-flight work, releases
+leases on the normal path, records a ``drain`` metrics event, and
+exits 0; a second signal interrupts immediately.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 import time
 
 
@@ -68,10 +80,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="extra driver keyword arguments as a JSON object (e.g. "
         '\'{"configs": [...]}\' for a tune_rung job)',
     )
+    submit.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="wall-clock deadline from submission; the coordinator "
+        "retires the job to the terminal 'expired' state past it",
+    )
 
     status = sub.add_parser("status", help="poll job progress")
     add_dir(status)
     status.add_argument("job_id", nargs="?", default=None)
+
+    cancel = sub.add_parser(
+        "cancel", help="move an in-flight job to 'cancelled'"
+    )
+    add_dir(cancel)
+    cancel.add_argument("job_id")
+    cancel.add_argument(
+        "--reason", default="",
+        help="recorded in the job record's error field",
+    )
+    cancel.add_argument("--metrics", default=None, metavar="FILE")
 
     fetch = sub.add_parser("fetch", help="print a finished job's report")
     add_dir(fetch)
@@ -108,6 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "from",
     )
     coord.add_argument("--metrics", default=None, metavar="FILE")
+    coord.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="chaos harness for the coordinator path: stage labels "
+        "'expand:<job_id>' and 'finalise:<job_id>' target the crash "
+        "windows between a durable artifact and its record update; "
+        "inert unless given",
+    )
+    coord.add_argument("--fault-seed", type=int, default=0)
 
     worker = sub.add_parser("worker", help="run one sweep worker loop")
     add_dir(worker)
@@ -127,6 +163,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument("--retries", type=int, default=0)
     worker.add_argument("--retry-backoff", type=float, default=0.25)
+    worker.add_argument(
+        "--max-lease-attempts", type=int, default=None,
+        help="lease generations (fresh + steals) before a cell is "
+        "quarantined as poison (default 3)",
+    )
     worker.add_argument("--metrics", default=None, metavar="FILE")
     worker.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
@@ -167,6 +208,12 @@ def _cmd_submit(args) -> int:
                 "error: --params must be a JSON object", file=sys.stderr
             )
             return 2
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        print(
+            "error: --job-timeout must be > 0 seconds",
+            file=sys.stderr,
+        )
+        return 2
     job_id = JobStore(args.dir).submit(
         JobSpec(
             experiment=args.experiment,
@@ -176,6 +223,7 @@ def _cmd_submit(args) -> int:
             retries=args.retries,
             tenant=args.tenant,
             params=params,
+            timeout_seconds=args.job_timeout,
         )
     )
     print(job_id)
@@ -184,29 +232,62 @@ def _cmd_submit(args) -> int:
 
 def _cmd_status(args) -> int:
     from repro.evalx.service.coordinator import Coordinator
-    from repro.evalx.service.jobs import JobStore
+    from repro.evalx.service.jobs import JobError, JobStore
 
     coordinator = Coordinator(args.dir)
     if args.job_id is not None:
-        print(coordinator.status(args.job_id).summary())
+        try:
+            print(coordinator.status(args.job_id).summary())
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         return 0
     records = JobStore(args.dir).list_jobs()
     if not records:
         print("no jobs")
         return 0
     for record in records:
-        print(coordinator.status(record.job_id).summary())
+        try:
+            print(coordinator.status(record.job_id).summary())
+        except JobError as exc:
+            # Deleted or damaged between the listing and this poll.
+            print(f"error: {exc}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.evalx.metrics import RunMetrics
+    from repro.evalx.service.coordinator import Coordinator
+    from repro.evalx.service.jobs import JobError
+
+    with RunMetrics(path=args.metrics) as metrics:
+        try:
+            record = Coordinator(args.dir, metrics=metrics).cancel(
+                args.job_id, reason=args.reason
+            )
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(f"{record.job_id} [cancelled] {record.error}")
     return 0
 
 
 def _cmd_fetch(args) -> int:
-    from repro.evalx.service.jobs import JobError, JobStore
+    from repro.evalx.service.jobs import (
+        TERMINAL_STATES,
+        JobError,
+        JobStore,
+    )
 
     store = JobStore(args.dir)
     deadline = time.monotonic() + args.timeout
     while True:
-        record = store.get(args.job_id)
-        if record.state in ("done", "failed"):
+        try:
+            record = store.get(args.job_id)
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if record.state in TERMINAL_STATES:
             break
         if not args.wait or time.monotonic() >= deadline:
             print(
@@ -232,6 +313,43 @@ def _cmd_fetch(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _drain_on_signals(request_drain):
+    """Translate the first SIGTERM/SIGINT into a graceful drain.
+
+    The first signal calls ``request_drain`` (a signal-safe Event set)
+    so the serve loop finishes its in-flight work, releases leases on
+    the normal path, and returns; its name is appended to the yielded
+    list so the caller can record a ``drain`` metrics event. A second
+    signal raises ``KeyboardInterrupt`` — the operator's escalation
+    when the in-flight cell is wedged. No-op off the main thread
+    (signal handlers can only be installed there), mirroring the
+    engine's PR 4 interrupt handling.
+    """
+    received: list[str] = []
+    if threading.current_thread() is not threading.main_thread():
+        yield received
+        return
+
+    def _handler(signum, frame):
+        if received:
+            raise KeyboardInterrupt
+        received.append(signal.Signals(signum).name)
+        request_drain()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    try:
+        yield received
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
 def _cmd_coordinator(args) -> int:
     from repro.evalx.metrics import RunMetrics
     from repro.evalx.service.coordinator import (
@@ -240,21 +358,32 @@ def _cmd_coordinator(args) -> int:
     )
     from repro.evalx.service.costs import CostModel
 
+    if args.inject_faults:
+        _arm_faults(args.dir, args.inject_faults, args.fault_seed)
     cost_model = (
         CostModel.from_metrics(args.calibrate_metrics)
         if args.calibrate_metrics
         else CostModel()
     )
     with RunMetrics(path=args.metrics) as metrics:
-        Coordinator(
+        coordinator = Coordinator(
             args.dir,
             cost_model=cost_model,
             n_shards=args.shards or DEFAULT_SHARDS,
             metrics=metrics,
-        ).serve(
-            poll_seconds=args.poll,
-            exit_when_idle=args.exit_when_idle,
-            max_rounds=args.rounds,
+        )
+        with _drain_on_signals(coordinator.request_drain) as received:
+            coordinator.serve(
+                poll_seconds=args.poll,
+                exit_when_idle=args.exit_when_idle,
+                max_rounds=args.rounds,
+            )
+        if received:
+            metrics.drain_event("coordinator", received[0])
+    if received:
+        print(
+            f"[coordinator drained after {received[0]}]",
+            file=sys.stderr,
         )
     return 0
 
@@ -262,8 +391,14 @@ def _cmd_coordinator(args) -> int:
 def _cmd_worker(args) -> int:
     from repro.evalx.metrics import RunMetrics
     from repro.evalx.parallel import RetryPolicy
-    from repro.evalx.service.worker import Worker
+    from repro.evalx.service.worker import (
+        DEFAULT_MAX_LEASE_ATTEMPTS,
+        Worker,
+    )
 
+    if args.ttl <= 0:
+        print("error: --ttl must be > 0 seconds", file=sys.stderr)
+        return 2
     if args.inject_faults:
         _arm_faults(args.dir, args.inject_faults, args.fault_seed)
     with RunMetrics(path=args.metrics) as metrics:
@@ -276,25 +411,37 @@ def _cmd_worker(args) -> int:
                 backoff_seconds=args.retry_backoff,
             ),
             metrics=metrics,
+            max_lease_attempts=(
+                args.max_lease_attempts
+                if args.max_lease_attempts is not None
+                else DEFAULT_MAX_LEASE_ATTEMPTS
+            ),
         )
-        ran = worker.serve(
-            poll_seconds=args.poll,
-            max_cells=args.max_cells,
-            idle_rounds=args.idle_rounds,
-        )
+        with _drain_on_signals(worker.request_drain) as received:
+            ran = worker.serve(
+                poll_seconds=args.poll,
+                max_cells=args.max_cells,
+                idle_rounds=args.idle_rounds,
+            )
+        if received:
+            metrics.drain_event("worker", received[0], served=ran)
     print(
-        f"[worker {worker.worker_id} served {ran} cell(s)]",
+        f"[worker {worker.worker_id} served {ran} cell(s)"
+        + (f", drained after {received[0]}" if received else "")
+        + "]",
         file=sys.stderr,
     )
     return 0
 
 
 def _arm_faults(root: str, spec: str, seed: int) -> None:
-    """Compile the worker's chaos plan against the queued cell labels.
+    """Compile a chaos plan against queued cell + stage labels.
 
     The explicit ``--inject-faults`` opt-in mirrors the single-host
-    CLI; victims are drawn from whatever jobs are already expanded in
-    the queue when the worker starts.
+    CLI. Victim labels are drawn from whatever jobs exist when the
+    process starts: every expanded manifest's cell labels (worker
+    faults) plus the synthetic ``expand:<job_id>`` /
+    ``finalise:<job_id>`` stage labels (coordinator crash windows).
     """
     from repro.evalx import faults
     from repro.evalx.service import manifest as mf
@@ -302,6 +449,8 @@ def _arm_faults(root: str, spec: str, seed: int) -> None:
 
     labels: list[str] = []
     for record in JobStore(root).list_jobs():
+        labels.append(f"expand:{record.job_id}")
+        labels.append(f"finalise:{record.job_id}")
         try:
             manifest = mf.read_manifest(root, record.job_id)
         except mf.ManifestError:
@@ -319,6 +468,7 @@ def _arm_faults(root: str, spec: str, seed: int) -> None:
 _COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "cancel": _cmd_cancel,
     "fetch": _cmd_fetch,
     "coordinator": _cmd_coordinator,
     "worker": _cmd_worker,

@@ -25,15 +25,42 @@ The squash-vs-local-repair discipline the engine follows extends here
 to hosts: losing a worker never squashes the sweep; its leases expire,
 surviving workers re-lease exactly the unfinished cells, and the
 completed records stand.
+
+The coordinator itself is crash-safe in the same sense:
+
+* ``_expand`` is idempotent — a coordinator killed after publishing
+  the manifest but before moving the record to ``running`` leaves a
+  ``submitted`` job with a manifest on disk, and the next expansion
+  pass *adopts* that manifest instead of re-expanding.
+* ``reconcile`` (run at ``serve`` startup) repairs the two other
+  torn states a dead coordinator can leave: a ``running`` job with no
+  readable manifest is demoted to ``submitted`` for re-expansion, and
+  a ``done`` job whose result pickle is missing or unreadable is
+  demoted to ``running`` so the next pass re-finalises it from the
+  still-present checkpoint records.
+* Deadlines and cancellation bound a job's lifetime: a job past its
+  spec's ``timeout_seconds`` moves to the terminal ``expired`` state,
+  and :meth:`Coordinator.cancel` moves an in-flight job to
+  ``cancelled``; workers stop serving either at their next poll.
+
+Chaos hooks: :func:`repro.evalx.faults.fire` runs on the synthetic
+stage labels ``expand:<job_id>`` (after the manifest is durable,
+before the record moves to ``running``) and ``finalise:<job_id>``
+(after the result is durable, before the record moves to ``done``) —
+the two crash windows above — so ``repro-chaos`` can kill a real
+coordinator at exactly the instants the recovery paths exist for.
 """
 
 from __future__ import annotations
 
 import importlib
+import pickle
+import threading
 import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro.evalx import faults
 from repro.evalx.checkpoint import (
     CheckpointCorrupt,
     CheckpointKeyError,
@@ -43,9 +70,15 @@ from repro.evalx.checkpoint import (
 from repro.evalx.metrics import RunMetrics
 from repro.evalx.parallel import CellFailure, is_failure
 from repro.evalx.report import render_failures
+from repro.evalx.result import ExperimentResult
 from repro.evalx.service import manifest as mf
 from repro.evalx.service.costs import CostModel, shard_cells
-from repro.evalx.service.jobs import JobRecord, JobStatus, JobStore
+from repro.evalx.service.jobs import (
+    TERMINAL_STATES,
+    JobRecord,
+    JobStatus,
+    JobStore,
+)
 from repro.evalx.service.queue import LeaseQueue
 
 #: Default shard count per job when the submitter does not say.
@@ -77,11 +110,18 @@ class Coordinator:
         self.cost_model = cost_model or CostModel()
         self.n_shards = n_shards
         self.metrics = metrics or RunMetrics.disabled()
+        self._drain = threading.Event()
 
     # -- one scheduling pass ------------------------------------------
 
     def run_once(self) -> dict[str, int]:
-        """Expand and finalise whatever is ready; returns counts."""
+        """Expand and finalise whatever is ready; returns counts.
+
+        Deadline enforcement runs first, so a job that expired while
+        the coordinator was away is retired before any work is spent
+        expanding or finalising it.
+        """
+        expired = self._expire_deadlines()
         expanded = sum(
             self._expand(record)
             for record in self.jobs.list_jobs(state="submitted")
@@ -96,8 +136,22 @@ class Coordinator:
         return {
             "expanded": expanded,
             "finished": finished,
+            "expired": expired,
             "open": open_jobs,
         }
+
+    def request_drain(self) -> None:
+        """Ask :meth:`serve` to stop after the in-flight pass.
+
+        Signal-safe; the CLI wires SIGTERM/SIGINT here so a drained
+        coordinator finishes its current expand/finalise pass (all of
+        whose writes are atomic) and exits cleanly.
+        """
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
 
     def serve(
         self,
@@ -105,16 +159,119 @@ class Coordinator:
         exit_when_idle: bool = False,
         max_rounds: int | None = None,
     ) -> None:
-        """Poll until told to stop (or, optionally, until idle)."""
+        """Poll until told to stop (or, optionally, until idle).
+
+        Startup begins with :meth:`reconcile`, so a coordinator that
+        replaced one that died mid-flight repairs any torn job state
+        before scheduling new work.
+        """
+        self.reconcile()
         rounds = 0
-        while True:
+        while not self._drain.is_set():
             summary = self.run_once()
             rounds += 1
             if exit_when_idle and summary["open"] == 0:
                 return
             if max_rounds is not None and rounds >= max_rounds:
                 return
-            time.sleep(poll_seconds)
+            if self._drain.wait(poll_seconds):
+                return
+
+    # -- lifecycle control --------------------------------------------
+
+    def cancel(self, job_id: str, reason: str = "") -> JobRecord:
+        """Cancel an in-flight job (terminal ``cancelled`` state).
+
+        Raises :class:`~repro.evalx.service.jobs.JobError` for unknown
+        or already-terminal jobs. Workers notice at their next poll;
+        any lease they hold on the job simply expires unrenewed once
+        the in-flight cell resolves.
+        """
+        record = self.jobs.cancel(job_id, reason=reason)
+        self.metrics.job_event(
+            job_id, "cancelled", reason=record.error
+        )
+        return record
+
+    def _expire_deadlines(self) -> int:
+        """Retire every non-terminal job past its submission deadline."""
+        expired = 0
+        for record in self.jobs.list_jobs():
+            if record.state in TERMINAL_STATES:
+                continue
+            limit = record.spec.timeout_seconds
+            if limit is None or limit <= 0:
+                continue
+            if time.time() - record.submitted_ts < limit:
+                continue
+            reason = (
+                f"deadline of {limit:g}s after submission exceeded"
+            )
+            self.jobs.update(record, state="expired", error=reason)
+            self.metrics.job_event(
+                record.job_id, "deadline_expired", reason=reason
+            )
+            expired += 1
+        return expired
+
+    def reconcile(self) -> dict[str, int]:
+        """Repair job records a dead coordinator left inconsistent.
+
+        Two torn states are possible (every individual write is
+        atomic, so only *pairs* of writes can be interrupted):
+
+        * ``running`` with no readable manifest — the manifest was
+          lost or damaged after the record moved; demote to
+          ``submitted`` so the next pass re-expands (deterministically,
+          to the same fingerprints — completed cells are kept).
+        * ``done`` with a missing/unreadable result pickle — demote to
+          ``running`` so the next pass re-finalises from the checkpoint
+          records, which re-publishes a byte-identical result.
+
+        Returns ``{"requeued": ..., "rebuilt": ...}`` counts.
+        """
+        requeued = 0
+        rebuilt = 0
+        for record in self.jobs.list_jobs():
+            if record.state == "running":
+                try:
+                    mf.read_manifest(self.root, record.job_id)
+                except mf.ManifestError:
+                    self.jobs.update(
+                        record,
+                        state="submitted",
+                        cells_total=0,
+                        shards=0,
+                        estimated_cost=0.0,
+                    )
+                    self.metrics.job_event(
+                        record.job_id,
+                        "requeued",
+                        reason="running job has no readable manifest",
+                    )
+                    requeued += 1
+            elif record.state == "done":
+                if self._result_ok(record.job_id):
+                    continue
+                self.jobs.update(record, state="running")
+                self.metrics.job_event(
+                    record.job_id,
+                    "refinalise",
+                    reason="done job result missing or unreadable",
+                )
+                rebuilt += 1
+        return {"requeued": requeued, "rebuilt": rebuilt}
+
+    def _result_ok(self, job_id: str) -> bool:
+        """Whether the published result pickle loads as a result."""
+        try:
+            with open(self.jobs.result_path(job_id), "rb") as handle:
+                return isinstance(pickle.load(handle), ExperimentResult)
+        except Exception:
+            # Damaged pickles raise essentially anything (EOFError,
+            # UnpicklingError, AttributeError...); any of it means the
+            # result must be rebuilt from the checkpoint records.
+            return False
 
     # -- status -------------------------------------------------------
 
@@ -154,7 +311,17 @@ class Coordinator:
     # -- expansion ----------------------------------------------------
 
     def _expand(self, record: JobRecord) -> bool:
+        """Expand one submitted job (idempotent across crashes).
+
+        If a previous coordinator died between publishing the manifest
+        and moving the record to ``running``, the manifest on disk is
+        adopted as-is — re-expansion would produce the same cells (the
+        grid is deterministic), but adopting keeps the pass cheap and
+        the manifest bytes identical.
+        """
         spec = record.spec
+        if self._adopt_manifest(record):
+            return True
         try:
             module = importlib.import_module(
                 f"repro.evalx.experiments.{spec.experiment}"
@@ -201,12 +368,41 @@ class Coordinator:
             costs,
             shards,
         )
+        # Chaos stage hook: the manifest is durable but the record is
+        # still `submitted` — the exact crash window _adopt_manifest
+        # repairs on the next coordinator's pass.
+        faults.fire(f"expand:{record.job_id}", 1)
         self.jobs.update(
             record,
             state="running",
             cells_total=len(cells),
             shards=len(shards),
             estimated_cost=total,
+        )
+        return True
+
+    def _adopt_manifest(self, record: JobRecord) -> bool:
+        """Promote a submitted job whose manifest already exists.
+
+        The leftover of a coordinator killed mid-expand: manifest
+        durable, record not yet ``running``. Adopting re-derives the
+        bookkeeping from the manifest and moves the record on, without
+        rewriting the manifest (workers may already be serving it).
+        """
+        try:
+            manifest = mf.read_manifest(self.root, record.job_id)
+        except mf.ManifestError:
+            return False
+        if manifest.experiment != record.spec.experiment:
+            return False
+        self.jobs.update(
+            record,
+            state="running",
+            cells_total=len(manifest.cells),
+            shards=len(manifest.shards),
+            estimated_cost=sum(
+                shard.estimated_cost for shard in manifest.shards
+            ),
         )
         return True
 
@@ -278,6 +474,10 @@ class Coordinator:
             )
             return False
         self.jobs.save_result(job_id, result)
+        # Chaos stage hook: the result is durable but the record still
+        # says `running` — the crash window reconcile()'s done-result
+        # check and a plain re-finalise both repair.
+        faults.fire(f"finalise:{job_id}", 1)
         self.jobs.update(record, state="done")
         return True
 

@@ -1,7 +1,8 @@
 """Job records and the async job API's durable state machine.
 
 A job is one submitted sweep. Its record is a small JSON file whose
-``state`` walks ``submitted -> running -> done | failed``:
+``state`` walks ``submitted -> running -> done | failed | cancelled |
+expired``:
 
 * ``submitted`` — written by :meth:`JobStore.submit` (any tenant, any
   host); carries only the sweep spec.
@@ -12,10 +13,22 @@ A job is one submitted sweep. Its record is a small JSON file whose
   ``<id>.result.pkl`` for :meth:`JobStore.fetch`.
 * ``failed`` — a cell's failure became final without ``keep_going``,
   or the sweep could not be expanded; ``error`` says why.
+* ``cancelled`` — an operator called :meth:`JobStore.cancel` (or the
+  CLI ``cancel`` command) before the job resolved.
+* ``expired`` — the job outlived its ``timeout_seconds`` deadline and
+  the coordinator retired it.
+
+``done``/``failed``/``cancelled``/``expired`` are terminal
+(:data:`TERMINAL_STATES`): the coordinator never expands or finalises
+a terminal job, and workers only lease cells of ``running`` jobs — so
+cancelling or expiring a job stops further work as soon as each
+participant's next poll, and any in-flight leases simply expire.
 
 All writes are atomic (tmp + ``os.replace``), so a coordinator or
 client crash never leaves a half-written record, and concurrent
-``status`` polls always see a consistent state.
+``status`` polls always see a consistent state. Every malformed,
+unknown, or concurrently-deleted record surfaces as a typed
+:class:`JobError` — never a raw ``KeyError``/``FileNotFoundError``.
 """
 
 from __future__ import annotations
@@ -38,7 +51,17 @@ JOB_SUFFIX = ".job.json"
 #: Combined results are pickled next to the record.
 RESULT_SUFFIX = ".result.pkl"
 
-JOB_STATES = ("submitted", "running", "done", "failed")
+JOB_STATES = (
+    "submitted",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+    "expired",
+)
+
+#: States a job never leaves; the coordinator skips these entirely.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "expired"})
 
 
 class JobError(ReproError):
@@ -64,6 +87,10 @@ class JobSpec:
     retries: int = 0
     tenant: str = "default"
     params: dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock deadline measured from submission; ``None`` (the
+    #: default) means the job may run forever. The coordinator moves a
+    #: job past its deadline to the terminal ``expired`` state.
+    timeout_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -143,8 +170,11 @@ class JobStore:
         with the recorded error when it failed.
         """
         record = self.get(job_id)
-        if record.state == "failed":
-            raise JobError(f"job {job_id} failed: {record.error}")
+        if record.state in ("failed", "cancelled", "expired"):
+            raise JobError(
+                f"job {job_id} {record.state}: "
+                f"{record.error or 'no result was produced'}"
+            )
         if record.state != "done":
             raise JobError(
                 f"job {job_id} is {record.state}, not done; poll status"
@@ -153,7 +183,10 @@ class JobStore:
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.PickleError) as exc:
+        except Exception as exc:
+            # A damaged pickle raises essentially anything (EOFError,
+            # UnpicklingError, AttributeError, UnicodeDecodeError...);
+            # all of it means the same thing to the caller.
             raise JobError(
                 f"job {job_id} result unreadable: {exc!r}"
             ) from exc
@@ -164,6 +197,27 @@ class JobStore:
             )
         return result
 
+    def cancel(self, job_id: str, reason: str = "") -> JobRecord:
+        """Move an in-flight job to the terminal ``cancelled`` state.
+
+        Raises :class:`JobError` when the job is unknown or already
+        terminal — cancelling a finished job would silently discard a
+        result the tenant may be about to fetch. Workers stop serving
+        the job at their next poll (only ``running`` jobs are leased);
+        in-flight leases are left to expire on their own.
+        """
+        record = self.get(job_id)
+        if record.state in TERMINAL_STATES:
+            raise JobError(
+                f"job {job_id} is already {record.state}; "
+                "cannot cancel a terminal job"
+            )
+        return self.update(
+            record,
+            state="cancelled",
+            error=reason or "cancelled by operator",
+        )
+
     # -- record plumbing ---------------------------------------------
 
     def path_for(self, job_id: str) -> Path:
@@ -173,6 +227,13 @@ class JobStore:
         return self.directory / f"{job_id}{RESULT_SUFFIX}"
 
     def get(self, job_id: str) -> JobRecord:
+        """Load one job record, or raise a typed :class:`JobError`.
+
+        Unknown ids, records deleted between the listing and this read,
+        and structurally malformed records (valid JSON that is not a
+        job record) all raise :class:`JobError` — callers never see a
+        raw ``FileNotFoundError``/``KeyError``.
+        """
         try:
             raw = self.path_for(job_id).read_text(encoding="utf-8")
             data = json.loads(raw)
@@ -182,7 +243,7 @@ class JobStore:
             raise JobError(
                 f"job record for {job_id!r} unreadable: {exc}"
             ) from exc
-        return self._decode(data)
+        return self._decode(data, job_id=job_id)
 
     def list_jobs(self, state: str | None = None) -> list[JobRecord]:
         """All job records, oldest submission first (the fairness ring
@@ -195,11 +256,12 @@ class JobStore:
                 try:
                     records.append(
                         self._decode(
-                            json.loads(path.read_text(encoding="utf-8"))
+                            json.loads(path.read_text(encoding="utf-8")),
+                            job_id=path.name[: -len(JOB_SUFFIX)],
                         )
                     )
-                except (OSError, ValueError, KeyError):
-                    continue  # torn by a concurrent writer; next poll
+                except (OSError, ValueError, JobError):
+                    continue  # torn/damaged by another writer; skip
         records.sort(key=lambda r: (r.submitted_ts, r.job_id))
         if state is not None:
             records = [r for r in records if r.state == state]
@@ -250,25 +312,47 @@ class JobStore:
             raise
 
     @staticmethod
-    def _decode(data: dict) -> JobRecord:
-        spec_data = dict(data.get("spec", {}))
-        spec = JobSpec(
-            experiment=str(spec_data.get("experiment", "?")),
-            n_tasks=spec_data.get("n_tasks"),
-            quick=bool(spec_data.get("quick", False)),
-            keep_going=bool(spec_data.get("keep_going", False)),
-            retries=int(spec_data.get("retries", 0)),
-            tenant=str(spec_data.get("tenant", "default")),
-            params=dict(spec_data.get("params") or {}),
-        )
-        return JobRecord(
-            job_id=str(data["job_id"]),
-            state=str(data["state"]),
-            spec=spec,
-            submitted_ts=float(data.get("submitted_ts", 0.0)),
-            cells_total=int(data.get("cells_total", 0)),
-            shards=int(data.get("shards", 0)),
-            estimated_cost=float(data.get("estimated_cost", 0.0)),
-            error=str(data.get("error", "")),
-            extra=dict(data.get("extra", {})),
-        )
+    def _decode(data: object, job_id: str = "?") -> JobRecord:
+        """Turn parsed JSON into a record, or raise :class:`JobError`.
+
+        Anything structurally wrong — non-object JSON (``null``, a
+        list), missing required keys, uncastable field types — becomes
+        a typed error naming the job, so a damaged record can never
+        leak a raw ``KeyError``/``AttributeError``/``TypeError`` into
+        ``get``/``fetch``/``status`` callers.
+        """
+        try:
+            if not isinstance(data, dict):
+                raise TypeError(
+                    f"expected a JSON object, got "
+                    f"{type(data).__name__}"
+                )
+            spec_data = dict(data.get("spec") or {})
+            timeout = spec_data.get("timeout_seconds")
+            spec = JobSpec(
+                experiment=str(spec_data.get("experiment", "?")),
+                n_tasks=spec_data.get("n_tasks"),
+                quick=bool(spec_data.get("quick", False)),
+                keep_going=bool(spec_data.get("keep_going", False)),
+                retries=int(spec_data.get("retries", 0)),
+                tenant=str(spec_data.get("tenant", "default")),
+                params=dict(spec_data.get("params") or {}),
+                timeout_seconds=(
+                    None if timeout is None else float(timeout)
+                ),
+            )
+            return JobRecord(
+                job_id=str(data["job_id"]),
+                state=str(data["state"]),
+                spec=spec,
+                submitted_ts=float(data.get("submitted_ts", 0.0)),
+                cells_total=int(data.get("cells_total", 0)),
+                shards=int(data.get("shards", 0)),
+                estimated_cost=float(data.get("estimated_cost", 0.0)),
+                error=str(data.get("error", "")),
+                extra=dict(data.get("extra") or {}),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise JobError(
+                f"job record for {job_id!r} malformed: {exc!r}"
+            ) from exc

@@ -151,6 +151,11 @@ def read_manifest(root: str | Path, job_id: str) -> Manifest:
 
 # -- fail markers -----------------------------------------------------
 
+#: ``CellFailure.kind`` for a cell quarantined by the lease attempt
+#: policy: its workers kept dying, so it is finalised as failed instead
+#: of being re-leased forever (see :mod:`repro.evalx.service.worker`).
+QUARANTINED = "quarantined"
+
 
 def fail_path(root: str | Path, job_id: str, fingerprint: str) -> Path:
     return queue_dir(root, job_id) / "fails" / f"{fingerprint}.json"
@@ -158,8 +163,16 @@ def fail_path(root: str | Path, job_id: str, fingerprint: str) -> Path:
 
 def write_fail(
     root: str | Path, job_id: str, fingerprint: str, failure: CellFailure
-) -> None:
-    """Atomically record one cell's final failure (job-scoped)."""
+) -> bool:
+    """Atomically record one cell's final failure (job-scoped).
+
+    First writer wins: the marker is published with a hard link from a
+    pid-unique temp, which atomically fails if a marker already exists.
+    That keeps a zombie worker — one that hung past its lease and woke
+    after the cell was re-served — from overwriting the verdict of the
+    worker that legitimately owned the cell. Returns whether *this*
+    call published the marker.
+    """
     path = fail_path(root, job_id, fingerprint)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{fingerprint}.tmp-{os.getpid()}")
@@ -175,9 +188,14 @@ def write_fail(
     )
     try:
         fsync_write_text(tmp, body + "\n")
-        os.replace(tmp, path)
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
     except OSError:
+        return False
+    finally:
         tmp.unlink(missing_ok=True)
+    return True
 
 
 def read_fail(

@@ -12,7 +12,11 @@ record the cell will become. The protocol is deliberately tiny:
 * **Expiry + steal** — a lease whose ``expires_at`` has passed marks a
   dead worker (SIGKILL, OOM, lost host). Any worker may steal it by
   replacing the file with its own claim and re-reading to confirm
-  ownership (last writer wins).
+  ownership (last writer wins). A steal carries the previous claim's
+  ``attempt`` counter forward, incremented — the lease generation — so
+  a poison cell that keeps killing its workers is visible as a chain of
+  expired high-attempt leases and can be quarantined instead of
+  re-leased forever (:mod:`repro.evalx.service.worker`).
 * **Complete** — the worker persists the cell's checkpoint record and
   unlinks the lease. A record on disk always outranks any lease.
 
@@ -41,7 +45,14 @@ DEFAULT_TTL_SECONDS = 30.0
 
 @dataclass(frozen=True)
 class Lease:
-    """One worker's on-disk claim on one cell."""
+    """One worker's on-disk claim on one cell.
+
+    ``attempt`` is the lease *generation*: 1 on a fresh claim, +1 each
+    time an expired claim is stolen. Renewals by the same owner keep
+    it. Because a healthy worker's lease never expires, the counter
+    approximates "how many workers died (or abandoned) holding this
+    cell" — the signal the quarantine policy thresholds on.
+    """
 
     fingerprint: str
     label: str
@@ -49,6 +60,7 @@ class Lease:
     worker: str
     expires_at: float
     created_ts: float
+    attempt: int = 1
 
     def expired(self, now: float | None = None) -> bool:
         """Whether the claim may be stolen (heartbeats stopped).
@@ -106,10 +118,13 @@ class LeaseQueue:
                 worker=str(record["worker"]),
                 expires_at=float(record["expires_at"]),
                 created_ts=float(record.get("created_ts", 0.0)),
+                attempt=int(record.get("attempt", 1)),
             )
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):
+            # attempt 0: a damaged claim loses its generation count, so
+            # the steal restarts it at 1 rather than inheriting garbage.
             return Lease(
                 fingerprint=fingerprint,
                 label="?",
@@ -117,6 +132,7 @@ class LeaseQueue:
                 worker="?",
                 expires_at=0.0,
                 created_ts=0.0,
+                attempt=0,
             )
 
     def state(self, fingerprint: str) -> str:
@@ -132,43 +148,54 @@ class LeaseQueue:
 
     def acquire(
         self, fingerprint: str, label: str, job: str, worker: str
-    ) -> bool:
-        """Try to claim a cell; True when this worker now owns it.
+    ) -> Lease | None:
+        """Try to claim a cell; the owned lease when this worker won.
 
-        Fresh cells are claimed with an exclusive create; an expired
-        lease is stolen with an atomic replace followed by a re-read,
-        so of N racing stealers exactly the last writer proceeds.
+        Fresh cells are claimed with an exclusive create (attempt 1);
+        an expired lease is stolen with an atomic replace followed by a
+        re-read, so of N racing stealers exactly the last writer
+        proceeds — and the stolen claim carries ``attempt + 1``.
+        Returns ``None`` when the cell is done, validly leased by
+        someone else, or the race was lost (truthiness is claim
+        success, so boolean call sites read unchanged).
         """
         if self.store.has(fingerprint):
-            return False
+            return None
         path = self.store.lease_path_for(fingerprint)
-        body = self._body(fingerprint, label, job, worker)
+        fresh = self._make(fingerprint, label, job, worker, attempt=1)
         try:
             self.store.directory.mkdir(parents=True, exist_ok=True)
             with open(path, "x", encoding="utf-8") as handle:
-                handle.write(body)
+                handle.write(self._body(fresh))
         except FileExistsError:
             current = self.read(fingerprint)
             if current is None:
                 # Released between our create and read; next round.
-                return False
+                return None
             if not current.expired():
-                return False
-            if not self._replace(path, fingerprint, body):
-                return False
+                return None
+            taken = self._make(
+                fingerprint,
+                label,
+                job,
+                worker,
+                attempt=current.attempt + 1,
+            )
+            if not self._replace(path, fingerprint, self._body(taken)):
+                return None
             stolen = self.read(fingerprint)
             if stolen is None or stolen.worker != worker:
-                return False  # lost the steal race to a later writer
+                return None  # lost the steal race to a later writer
             self.metrics.lease_event(
                 label, "steal", fingerprint, worker=worker, job=job
             )
-            return True
+            return stolen
         except OSError:
-            return False
+            return None
         self.metrics.lease_event(
             label, "leased", fingerprint, worker=worker, job=job
         )
-        return True
+        return fresh
 
     def renew(self, fingerprint: str, label: str, job: str, worker: str) -> bool:
         """Heartbeat: push the owned lease's expiry forward.
@@ -176,20 +203,40 @@ class LeaseQueue:
         Returns False when this worker no longer owns the lease (it was
         stolen after an expiry, or the cell completed and the lease is
         gone) — the caller keeps running regardless, since duplicate
-        execution is harmless, but stops renewing.
+        execution is harmless, but stops renewing. The claim's
+        ``attempt`` generation is preserved across renewals.
         """
         current = self.read(fingerprint)
         if current is None or current.worker != worker:
             return False
         path = self.store.lease_path_for(fingerprint)
-        if not self._replace(
-            path, fingerprint, self._body(fingerprint, label, job, worker)
-        ):
+        renewed = self._make(
+            fingerprint, label, job, worker, attempt=current.attempt
+        )
+        if not self._replace(path, fingerprint, self._body(renewed)):
             return False
         self.metrics.lease_event(
             label, "heartbeat", fingerprint, worker=worker, job=job
         )
         return True
+
+    def owns(self, fingerprint: str, worker: str) -> bool:
+        """Whether ``worker`` still holds a live claim on the cell.
+
+        The publication guard: a worker that was descheduled long
+        enough for its lease to expire (and possibly be stolen) calls
+        this right before persisting a record or fail marker, and walks
+        away instead of overwriting whatever the thief published. An
+        expired-but-unstolen claim also reads as not-owned — the cell
+        is already up for grabs, so publishing under it would race the
+        next claimant.
+        """
+        current = self.read(fingerprint)
+        return (
+            current is not None
+            and current.worker == worker
+            and not current.expired()
+        )
 
     def release(self, fingerprint: str, worker: str) -> None:
         """Drop this worker's lease, if it still owns one."""
@@ -208,21 +255,50 @@ class LeaseQueue:
             job=current.job,
         )
 
+    def clear(self, fingerprint: str) -> None:
+        """Drop a cell's lease regardless of owner (quarantine path).
+
+        Only correct once a durable artifact outranking the lease — a
+        checkpoint record or a fail marker — is already on disk for the
+        cell; anyone racing us re-reads that artifact, not the lease.
+        """
+        try:
+            self.store.lease_path_for(fingerprint).unlink()
+        except OSError:
+            pass
+
     # -- internals ----------------------------------------------------
 
-    def _body(
-        self, fingerprint: str, label: str, job: str, worker: str
-    ) -> str:
+    def _make(
+        self,
+        fingerprint: str,
+        label: str,
+        job: str,
+        worker: str,
+        attempt: int,
+    ) -> Lease:
         now = time.time()
+        return Lease(
+            fingerprint=fingerprint,
+            label=label,
+            job=job,
+            worker=worker,
+            expires_at=now + self.ttl_seconds,
+            created_ts=now,
+            attempt=attempt,
+        )
+
+    def _body(self, lease: Lease) -> str:
         return (
             json.dumps(
                 {
-                    "fingerprint": fingerprint,
-                    "label": label,
-                    "job": job,
-                    "worker": worker,
-                    "expires_at": now + self.ttl_seconds,
-                    "created_ts": now,
+                    "fingerprint": lease.fingerprint,
+                    "label": lease.label,
+                    "job": lease.job,
+                    "worker": lease.worker,
+                    "expires_at": lease.expires_at,
+                    "created_ts": lease.created_ts,
+                    "attempt": lease.attempt,
                 },
                 sort_keys=True,
             )

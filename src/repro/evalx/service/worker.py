@@ -9,20 +9,37 @@ A worker is one process on one host. Each ``run_once``:
 2. Walks that job's shards in order, preferring to stay on a shard it
    already works (shard affinity keeps the cost-balanced grouping
    meaningful) and leases the first open cell: no checkpoint record, no
-   fail marker, no live lease. Expired leases are stolen.
+   fail marker, no live lease. Expired leases are stolen — unless the
+   expired claim's cross-steal attempt counter has reached
+   ``max_lease_attempts``, in which case the cell is *quarantined*: a
+   poison cell that kills every worker that leases it is finalised as a
+   typed ``quarantined`` fail marker instead of crash-looping the fleet
+   forever. Known-failed fingerprints are memoised per job, so a claim
+   pass stats at most one new marker per candidate cell instead of
+   rescanning the whole fails directory.
 3. Runs the cell in-process with the engine's retry discipline, under a
    heartbeat thread that renews the lease for as long as the cell
    takes.
 4. Publishes the result as an ordinary checkpoint record — the durable
    "done" bit every other participant polls — and releases the lease.
    A failure that survives the retry budget becomes a job-scoped fail
-   marker instead.
+   marker instead. Before *any* publication the worker re-confirms it
+   still owns the lease (`queue.owns`): a zombie worker — one that hung
+   past its TTL, lost the lease to a thief, and woke up again — walks
+   away instead of overwriting what the thief published.
+
+Graceful drain: :meth:`Worker.request_drain` (wired to SIGTERM/SIGINT
+by the CLI) lets the in-flight cell finish, then stops the serve loop
+before the next claim — leases are released by the normal completion
+path and the exit is clean.
 
 Chaos hooks: :func:`repro.evalx.faults.fire` runs at the top of every
 cell attempt exactly as in pooled runs (``raise``/``hang``/``kill``),
 and :func:`repro.evalx.faults.fire_worker` runs right after a lease is
-acquired, so a planned ``kill-worker`` fault dies holding a live lease
-— the precise crash the expiry/steal path exists to repair.
+acquired — with the lease's attempt generation, so ``kill-worker@X~0``
+kills *every* worker that ever leases X (a poison cell) — and a
+planned ``kill-worker`` fault dies holding a live lease, the precise
+crash the expiry/steal path exists to repair.
 """
 
 from __future__ import annotations
@@ -44,7 +61,11 @@ from repro.evalx.parallel import (
 )
 from repro.evalx.service import manifest as mf
 from repro.evalx.service.jobs import JobRecord, JobStore
-from repro.evalx.service.queue import DEFAULT_TTL_SECONDS, LeaseQueue
+from repro.evalx.service.queue import (
+    DEFAULT_TTL_SECONDS,
+    Lease,
+    LeaseQueue,
+)
 
 
 def default_worker_id() -> str:
@@ -57,6 +78,12 @@ def default_worker_id() -> str:
 #: declared lost right around the moment the unrenewed lease actually
 #: expires and becomes stealable.
 RENEW_FAILURE_THRESHOLD = 3
+
+#: Lease generations (fresh claim + steals) a cell may burn before it
+#: is quarantined. Three mirrors the engine's renew threshold: worker
+#: deaths are rare and independent, so three in a row on one cell is a
+#: poison cell, not bad luck.
+DEFAULT_MAX_LEASE_ATTEMPTS = 3
 
 
 class Worker:
@@ -73,6 +100,9 @@ class Worker:
         renew_failure_threshold: Consecutive heartbeat renewal
             failures after which the worker treats its lease as lost
             and abandons the cell instead of publishing.
+        max_lease_attempts: Lease generations (fresh + steals) a cell
+            may burn before this worker quarantines it instead of
+            stealing the expired claim.
     """
 
     def __init__(
@@ -83,6 +113,7 @@ class Worker:
         retry: RetryPolicy | None = None,
         metrics: RunMetrics | None = None,
         renew_failure_threshold: int = RENEW_FAILURE_THRESHOLD,
+        max_lease_attempts: int = DEFAULT_MAX_LEASE_ATTEMPTS,
     ) -> None:
         self.root = Path(root)
         self.worker_id = worker_id or default_worker_id()
@@ -94,8 +125,14 @@ class Worker:
         )
         self.retry = retry or RetryPolicy()
         self.renew_failure_threshold = max(1, renew_failure_threshold)
+        self.max_lease_attempts = max(1, max_lease_attempts)
         self._served: dict[str, int] = {}
         self._shard_affinity: dict[str, int] = {}
+        # Per-job memo of fingerprints with a recorded fail marker, so
+        # a claim pass checks one path per candidate instead of
+        # re-globbing the fails directory every time.
+        self._failed: dict[str, set[str]] = {}
+        self._drain = threading.Event()
 
     # -- scheduling ---------------------------------------------------
 
@@ -111,14 +148,35 @@ class Worker:
             ),
         )
 
-    def _claim(self, job: JobRecord) -> mf.ManifestCell | None:
-        """Lease the next open cell of one job, or None."""
+    def _is_failed(self, job_id: str, fingerprint: str) -> bool:
+        """Whether the cell already has a final fail marker.
+
+        Positive answers are memoised (markers are never retracted
+        within a job), so steady-state claims cost one ``stat`` per
+        still-open candidate rather than a directory glob per claim.
+        """
+        memo = self._failed.setdefault(job_id, set())
+        if fingerprint in memo:
+            return True
+        if mf.fail_path(self.root, job_id, fingerprint).exists():
+            memo.add(fingerprint)
+            return True
+        return False
+
+    def _claim(
+        self, job: JobRecord
+    ) -> tuple[mf.ManifestCell, Lease] | None:
+        """Lease the next open cell of one job, or None.
+
+        An expired lease whose attempt counter has reached
+        ``max_lease_attempts`` marks a poison cell: instead of stealing
+        it (and probably dying like the previous owners), the cell is
+        quarantined with a typed fail marker and skipped.
+        """
         try:
             manifest = mf.read_manifest(self.root, job.job_id)
         except mf.ManifestError:
             return None
-        done = self.store.fingerprints()
-        fails = mf.failed_fingerprints(self.root, job.job_id)
         shards = list(manifest.shards)
         # Shard affinity: resume the shard this worker last served so
         # the cost-balanced grouping stays a grouping.
@@ -127,34 +185,94 @@ class Worker:
             shards.sort(key=lambda s: (s.index != preferred, s.index))
         for shard in shards:
             for entry in manifest.shard_cells(shard):
-                if (
-                    entry.fingerprint in done
-                    or entry.fingerprint in fails
-                ):
+                if self._is_failed(job.job_id, entry.fingerprint):
                     continue
-                if self.queue.acquire(
+                if self.store.has(entry.fingerprint):
+                    continue
+                current = self.queue.read(entry.fingerprint)
+                if (
+                    current is not None
+                    and current.expired()
+                    and current.attempt >= self.max_lease_attempts
+                ):
+                    self._quarantine(job, entry, current)
+                    continue
+                lease = self.queue.acquire(
                     entry.fingerprint,
                     entry.label,
                     job.job_id,
                     self.worker_id,
-                ):
+                )
+                if lease is not None:
                     self._shard_affinity[job.job_id] = shard.index
-                    return entry
+                    return entry, lease
         return None
+
+    def _quarantine(
+        self, job: JobRecord, entry: mf.ManifestCell, lease: Lease
+    ) -> None:
+        """Finalise a poison cell as failed instead of re-leasing it.
+
+        First writer wins on the marker, so of N workers noticing the
+        exhausted claim at once exactly one records the quarantine (and
+        clears the dead lease); the rest just memoise the marker.
+        """
+        failure = CellFailure(
+            label=entry.label,
+            kind=mf.QUARANTINED,
+            error=(
+                f"cell burned {lease.attempt} lease attempt(s) — its "
+                "workers keep dying or losing the lease; quarantined "
+                f"at the {self.max_lease_attempts}-attempt threshold "
+                "instead of being re-leased"
+            ),
+            attempts=lease.attempt,
+            wall_seconds=0.0,
+        )
+        if mf.write_fail(
+            self.root, job.job_id, entry.fingerprint, failure
+        ):
+            self.metrics.lease_event(
+                entry.label,
+                "quarantined",
+                entry.fingerprint,
+                worker=self.worker_id,
+                job=job.job_id,
+            )
+            self.queue.clear(entry.fingerprint)
+        self._failed.setdefault(job.job_id, set()).add(
+            entry.fingerprint
+        )
 
     def run_once(self) -> str | None:
         """Serve one cell from the fairest job; its label, or None."""
         for job in self._job_ring():
-            entry = self._claim(job)
-            if entry is None:
+            claimed = self._claim(job)
+            if claimed is None:
                 continue
+            entry, lease = claimed
             self._served[job.job_id] = (
                 self._served.get(job.job_id, 0) + 1
             )
-            faults.fire_worker(entry.label)
+            faults.fire_worker(entry.label, attempt=lease.attempt)
             self._execute(job, entry)
             return entry.label
         return None
+
+    def request_drain(self) -> None:
+        """Ask :meth:`serve` to stop once in-flight work finishes.
+
+        Signal-safe (a bare ``Event.set``), so the CLI's SIGTERM/SIGINT
+        handlers call it directly: the current cell runs to completion
+        (or is abandoned by the normal ownership checks), its lease is
+        released on the usual path, and the loop exits cleanly instead
+        of leasing another cell.
+        """
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
 
     def serve(
         self,
@@ -162,7 +280,7 @@ class Worker:
         max_cells: int | None = None,
         idle_rounds: int = 3,
     ) -> int:
-        """Run cells until ``max_cells`` or the queue stays empty.
+        """Run cells until ``max_cells``, a drain, or an empty queue.
 
         ``idle_rounds`` consecutive empty polls end the loop (pass a
         large value for a long-lived daemon worker); returns the number
@@ -170,18 +288,20 @@ class Worker:
         """
         ran = 0
         idle = 0
-        while True:
+        while not self._drain.is_set():
             label = self.run_once()
             if label is None:
                 idle += 1
                 if idle >= idle_rounds:
                     return ran
-                time.sleep(poll_seconds)
+                if self._drain.wait(poll_seconds):
+                    return ran
                 continue
             idle = 0
             ran += 1
             if max_cells is not None and ran >= max_cells:
                 return ran
+        return ran
 
     # -- execution ----------------------------------------------------
 
@@ -191,7 +311,12 @@ class Worker:
         When the heartbeat declares the lease lost (``lost`` set after
         repeated renewal failures), nothing is published: a checkpoint
         record or fail marker written by a worker that no longer holds
-        the cell would race the worker that re-leased it.
+        the cell would race the worker that re-leased it. Ownership is
+        additionally re-probed on disk (`queue.owns`) right before each
+        publication: a zombie worker frozen past its TTL can wake and
+        reach this point *before* its heartbeat accumulates enough
+        failures to set ``lost``, and must still not overwrite whatever
+        the thief published.
         """
         stop = threading.Event()
         lost = threading.Event()
@@ -232,7 +357,12 @@ class Worker:
                     if lost.is_set():
                         self._abandon(job, entry)
                         return
-                    mf.write_fail(
+                    if not self.queue.owns(
+                        entry.fingerprint, self.worker_id
+                    ):
+                        self._abandon(job, entry)
+                        return
+                    published = mf.write_fail(
                         self.root,
                         job.job_id,
                         entry.fingerprint,
@@ -244,6 +374,10 @@ class Worker:
                             wall_seconds=wall,
                         ),
                     )
+                    if not published:
+                        # Someone else's marker is already final.
+                        self._abandon(job, entry)
+                        return
                     self.metrics.lease_event(
                         entry.label,
                         "failed",
@@ -262,6 +396,11 @@ class Worker:
                         cache=outcome.cache,
                     )
                     if lost.is_set():
+                        self._abandon(job, entry)
+                        return
+                    if not self.queue.owns(
+                        entry.fingerprint, self.worker_id
+                    ):
                         self._abandon(job, entry)
                         return
                     saved = self.store.save(

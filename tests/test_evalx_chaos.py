@@ -443,3 +443,37 @@ class TestKillAndResumeCLI:
         assert actions.count("corrupt") == 1
         assert actions.count("resume") == 4
         assert actions.count("saved") == 1  # the re-run re-persisted
+
+
+class TestAnyAttemptWildcard:
+    """``~0`` fires on *every* attempt — the poison-cell grammar.
+
+    A default clause (``~1``) lets retries succeed; ``~0`` models a
+    cell that misbehaves no matter which attempt (or, for
+    ``kill-worker``, which lease generation) touches it.
+    """
+
+    def test_parse_attempt_zero(self):
+        (clause,) = parse_spec("kill-worker@gcc~0")
+        assert clause.action == "kill-worker"
+        assert clause.glob == "gcc"
+        assert clause.attempt == 0
+
+    def test_wildcard_fires_on_every_attempt(self, monkeypatch):
+        plan = FaultPlan.compile(
+            "raise@poison~0", seed=0, labels=["poison", "clean"]
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        for attempt in (1, 2, 7):
+            with pytest.raises(InjectedFault):
+                faults.fire("poison", attempt)
+        faults.fire("clean", 1)  # untargeted labels stay clean
+
+    def test_default_attempt_still_fires_once(self, monkeypatch):
+        plan = FaultPlan.compile(
+            "raise@poison", seed=0, labels=["poison"]
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        with pytest.raises(InjectedFault):
+            faults.fire("poison", 1)
+        faults.fire("poison", 2)  # the retry succeeds

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -26,7 +27,7 @@ import pytest
 from repro.evalx.checkpoint import CheckpointStore, cell_fingerprint
 from repro.evalx.faults import KILL_EXIT_STATUS
 from repro.evalx.metrics import RunMetrics
-from repro.evalx.parallel import Cell
+from repro.evalx.parallel import Cell, CellFailure
 from repro.evalx.registry import run_experiment
 from repro.evalx.service import (
     Coordinator,
@@ -570,3 +571,547 @@ class TestWorkerAbandonsLostLease:
         assert "abandoned" in actions
         assert "completed" not in actions
         assert "failed" not in actions
+
+
+class TestLeaseAttemptCounter:
+    """The cross-steal attempt counter: 1 fresh, +1 per steal, kept by
+    renewals, reset by damage."""
+
+    FP = "f" * 16
+
+    def test_fresh_acquire_is_attempt_one(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.acquire(self.FP, "gcc", "job1", "w1")
+        assert lease.attempt == 1
+
+    def test_steal_chain_increments_attempt(self, tmp_path):
+        dead = _queue(tmp_path, ttl=0.05)
+        assert dead.acquire(self.FP, "gcc", "job1", "wA").attempt == 1
+        time.sleep(0.1)
+        stolen = dead.acquire(self.FP, "gcc", "job1", "wB")
+        assert stolen.attempt == 2
+        time.sleep(0.1)
+        assert dead.acquire(self.FP, "gcc", "job1", "wC").attempt == 3
+
+    def test_renew_preserves_attempt(self, tmp_path):
+        dead = _queue(tmp_path, ttl=0.05)
+        dead.acquire(self.FP, "gcc", "job1", "wA")
+        time.sleep(0.1)
+        live = _queue(tmp_path, ttl=30.0)
+        assert live.acquire(self.FP, "gcc", "job1", "wB").attempt == 2
+        assert live.renew(self.FP, "gcc", "job1", "wB")
+        assert live.read(self.FP).attempt == 2
+
+    def test_damaged_lease_restarts_the_count(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.store.directory.mkdir(parents=True, exist_ok=True)
+        queue.store.lease_path_for(self.FP).write_text("not json")
+        assert queue.read(self.FP).attempt == 0
+        # The steal of a damaged claim starts over at generation 1.
+        assert queue.acquire(self.FP, "gcc", "job1", "w1").attempt == 1
+
+
+class TestQuarantine:
+    """A cell whose workers keep dying is finalised, not re-leased."""
+
+    def _expanded_job(self, tmp_path, **spec):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(
+                experiment="table2", n_tasks=_TASKS, quick=True, **spec
+            )
+        )
+        Coordinator(tmp_path).run_once()
+        return jobs, job_id, mf.read_manifest(tmp_path, job_id)
+
+    def test_attempt_counter_survives_a_steal_chain(self, tmp_path):
+        """A killed, B stole and was killed, C must quarantine — the
+        counter travels across workers, not within one."""
+        jobs, job_id, manifest = self._expanded_job(
+            tmp_path, keep_going=True
+        )
+        target = next(e for e in manifest.cells if e.label == "gcc")
+        dead = _queue(tmp_path, ttl=0.05)
+        assert dead.acquire(
+            target.fingerprint, target.label, job_id, "wA"
+        ).attempt == 1
+        time.sleep(0.1)
+        assert dead.acquire(
+            target.fingerprint, target.label, job_id, "wB"
+        ).attempt == 2
+        time.sleep(0.1)
+        metrics_path = tmp_path / "metrics.jsonl"
+        with RunMetrics(path=metrics_path) as metrics:
+            Worker(
+                tmp_path,
+                worker_id="wC",
+                metrics=metrics,
+                max_lease_attempts=2,
+            ).serve(poll_seconds=0.01, idle_rounds=2)
+        failure = mf.read_fail(tmp_path, job_id, target.fingerprint)
+        assert failure is not None
+        assert failure.kind == mf.QUARANTINED
+        assert failure.attempts == 2
+        # The dead lease was cleared alongside the marker.
+        assert _queue(tmp_path).read(target.fingerprint) is None
+        events = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        quarantined = [
+            e for e in events
+            if e.get("event") == "lease"
+            and e.get("action") == "quarantined"
+        ]
+        assert len(quarantined) == 1
+        assert quarantined[0]["fingerprint"] == target.fingerprint
+        # keep_going finalisation turns the marker into a typed gap.
+        Coordinator(tmp_path).run_once()
+        result = jobs.fetch(job_id)
+        assert result.data["_failed_cells"] == ["gcc"]
+        assert result.failures[0].kind == mf.QUARANTINED
+
+    def test_below_threshold_expiry_is_stolen_not_quarantined(
+        self, tmp_path
+    ):
+        jobs, job_id, manifest = self._expanded_job(tmp_path)
+        target = manifest.cells[0]
+        dead = _queue(tmp_path, ttl=0.05)
+        dead.acquire(target.fingerprint, target.label, job_id, "wA")
+        time.sleep(0.1)
+        Worker(tmp_path, worker_id="wB").serve(
+            poll_seconds=0.01, idle_rounds=2
+        )
+        assert mf.read_fail(
+            tmp_path, job_id, target.fingerprint
+        ) is None
+        Coordinator(tmp_path).run_once()
+        assert jobs.get(job_id).state == "done"
+
+    def test_claim_pass_never_rescans_the_fails_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """Quarantined/failed fingerprints are skipped via the per-job
+        memo + a single marker stat, not a directory glob per claim."""
+        jobs, job_id, manifest = self._expanded_job(
+            tmp_path, keep_going=True
+        )
+        target = manifest.cells[0]
+        assert mf.write_fail(
+            tmp_path,
+            job_id,
+            target.fingerprint,
+            CellFailure(
+                label=target.label, kind="error", error="pre-failed",
+                attempts=1, wall_seconds=0.0,
+            ),
+        )
+
+        def _no_rescans(*args, **kwargs):
+            raise AssertionError(
+                "Worker._claim must not glob failed_fingerprints"
+            )
+
+        monkeypatch.setattr(
+            mf, "failed_fingerprints", _no_rescans
+        )
+        worker = Worker(tmp_path, worker_id="w1")
+        served = worker.serve(poll_seconds=0.01, idle_rounds=2)
+        monkeypatch.undo()
+        # Every open cell ran; the pre-failed one was skipped via memo.
+        assert served == len(manifest.cells) - 1
+        assert target.fingerprint in worker._failed[job_id]
+        Coordinator(tmp_path).run_once()
+        assert jobs.get(job_id).state == "done"
+
+
+def _hijacked_cell(root: str, label: str) -> dict:
+    """A cell that simulates a thief winning mid-run: the zombie's
+    lease is replaced and the thief's record published while the
+    original owner is still executing. The cell discovers its own
+    fingerprint from the one live lease (its fingerprint cannot appear
+    in its kwargs — the fingerprint is computed over them)."""
+    store = CheckpointStore(Path(root) / "store", resume=True)
+    (fingerprint,) = store.leases()
+    thief_queue = LeaseQueue(store, ttl_seconds=30.0)
+    store.lease_path_for(fingerprint).unlink()
+    assert thief_queue.acquire(fingerprint, label, "job", "thief")
+    store.save(fingerprint, label, "table2", {"winner": "thief"})
+    return {"winner": "zombie"}
+
+
+class TestZombiePublishGuard:
+    """A worker that lost its lease mid-cell must not overwrite the
+    thief's publication (the regression window: the zombie wakes before
+    its heartbeat accumulates enough failures to flag the loss)."""
+
+    def test_zombie_cannot_overwrite_thiefs_record(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(JobSpec(experiment="table2"))
+        record = jobs.get(job_id)
+        cell = Cell(
+            label="gcc:HIJACK",
+            fn=_hijacked_cell,
+            kwargs={"root": str(tmp_path), "label": "gcc:HIJACK"},
+            workload=("gcc", 100),
+        )
+        fingerprint = cell_fingerprint("table2", cell)
+        shards, _ = shard_cells([cell], 1, "table2")
+        mf.write_manifest(
+            tmp_path, job_id, "table2", [cell], [fingerprint],
+            [100.0], shards,
+        )
+        jobs.update(record, state="running", cells_total=1, shards=1)
+        metrics_path = tmp_path / "zombie.jsonl"
+        with RunMetrics(path=metrics_path) as metrics:
+            label = Worker(
+                tmp_path, worker_id="zombie", metrics=metrics
+            ).run_once()
+        assert label == "gcc:HIJACK"
+        store = CheckpointStore(tmp_path / "store", resume=True)
+        loaded = store.load(fingerprint, "gcc:HIJACK")
+        assert loaded.payload == {"winner": "thief"}
+        events = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        actions = [
+            e["action"] for e in events if e.get("event") == "lease"
+        ]
+        assert "abandoned" in actions
+        assert "completed" not in actions
+
+    def test_fail_marker_is_first_writer_wins(self, tmp_path):
+        failure = CellFailure(
+            label="gcc", kind="error", error="first", attempts=1,
+            wall_seconds=0.0,
+        )
+        assert mf.write_fail(tmp_path, "job1", "f" * 16, failure)
+        second = CellFailure(
+            label="gcc", kind="error", error="zombie verdict",
+            attempts=9, wall_seconds=0.0,
+        )
+        assert not mf.write_fail(tmp_path, "job1", "f" * 16, second)
+        kept = mf.read_fail(tmp_path, "job1", "f" * 16)
+        assert kept.error == "first"
+
+
+class TestJobStoreHardening:
+    """Damaged, missing, and misshapen records are typed errors."""
+
+    def _damaged(self, tmp_path, body: str) -> tuple[JobStore, str]:
+        store = JobStore(tmp_path)
+        job_id = store.submit(JobSpec(experiment="table2"))
+        store.path_for(job_id).write_text(body, encoding="utf-8")
+        return store, job_id
+
+    @pytest.mark.parametrize(
+        "body", ["null", "[1, 2]", '"a string"', '{"spec": 42}',
+                 "{not json", ""]
+    )
+    def test_damaged_record_raises_jobeerror(self, tmp_path, body):
+        store, job_id = self._damaged(tmp_path, body)
+        with pytest.raises(JobError, match=job_id):
+            store.get(job_id)
+
+    def test_damaged_record_is_skipped_by_listing(self, tmp_path):
+        store, _ = self._damaged(tmp_path, "null")
+        healthy = store.submit(JobSpec(experiment="table2"))
+        listed = store.list_jobs()
+        assert [r.job_id for r in listed] == [healthy]
+
+    def test_record_deleted_between_list_and_get(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.submit(JobSpec(experiment="table2"))
+        store.path_for(job_id).unlink()
+        with pytest.raises(JobError, match="unknown"):
+            store.get(job_id)
+
+    def test_invalid_state_update_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.get(store.submit(JobSpec(experiment="table2")))
+        with pytest.raises(JobError, match="invalid job state"):
+            store.update(record, state="exploded")
+
+    def test_status_cli_reports_damaged_record_typed(
+        self, tmp_path, capsys
+    ):
+        store, job_id = self._damaged(tmp_path, "null")
+        assert service_main(
+            ["status", "--dir", str(tmp_path), job_id]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "malformed" in err or "unreadable" in err
+
+    def test_fetch_cli_reports_unknown_job_typed(
+        self, tmp_path, capsys
+    ):
+        assert service_main(
+            ["fetch", "--dir", str(tmp_path), "ghost"]
+        ) == 1
+        assert "unknown job" in capsys.readouterr().err
+
+    def test_unreadable_result_is_typed(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.submit(JobSpec(experiment="table2"))
+        store.update(store.get(job_id), state="done")
+        store.result_path(job_id).write_bytes(b"\x80\x04 garbage")
+        with pytest.raises(JobError, match="unreadable"):
+            store.fetch(job_id)
+
+
+class TestCancelAndDeadlines:
+    """Operator cancellation and submission deadlines are terminal."""
+
+    def test_cancel_requires_a_live_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobError, match="unknown"):
+            store.cancel("ghost")
+        job_id = store.submit(JobSpec(experiment="table2"))
+        cancelled = store.cancel(job_id, reason="operator says so")
+        assert cancelled.state == "cancelled"
+        assert "operator says so" in cancelled.error
+        with pytest.raises(JobError, match="already cancelled"):
+            store.cancel(job_id)
+
+    def test_fetch_of_cancelled_job_names_the_reason(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.submit(JobSpec(experiment="table2"))
+        store.cancel(job_id, reason="budget cut")
+        with pytest.raises(JobError, match="budget cut"):
+            store.fetch(job_id)
+
+    def test_cancel_cli_roundtrip(self, tmp_path, capsys):
+        assert service_main([
+            "submit", "table2", "--dir", str(tmp_path), "--quick",
+        ]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert service_main([
+            "cancel", "--dir", str(tmp_path), job_id,
+            "--reason", "operator request",
+        ]) == 0
+        assert "[cancelled]" in capsys.readouterr().out
+        assert JobStore(tmp_path).get(job_id).state == "cancelled"
+        # Cancelling a terminal job is a typed, clean failure.
+        assert service_main(
+            ["cancel", "--dir", str(tmp_path), job_id]
+        ) == 1
+        assert "already cancelled" in capsys.readouterr().err
+
+    def test_submit_rejects_non_positive_timeout(self, tmp_path):
+        assert service_main([
+            "submit", "table2", "--dir", str(tmp_path),
+            "--job-timeout", "0",
+        ]) == 2
+
+    def test_deadline_expiry_is_terminal_and_stops_workers(
+        self, tmp_path
+    ):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(
+                experiment="table2", n_tasks=_TASKS, quick=True,
+                timeout_seconds=0.2,
+            )
+        )
+        coordinator = Coordinator(tmp_path)
+        coordinator.run_once()
+        time.sleep(0.25)
+        assert coordinator.run_once()["expired"] == 1
+        assert jobs.get(job_id).state == "expired"
+        with pytest.raises(JobError, match="expired"):
+            jobs.fetch(job_id)
+        assert Worker(tmp_path, worker_id="late").serve(
+            poll_seconds=0.01, idle_rounds=2
+        ) == 0
+        # A terminal job is never retired twice.
+        assert coordinator.run_once()["expired"] == 0
+
+    def test_no_deadline_means_no_expiry(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        coordinator = Coordinator(tmp_path)
+        assert coordinator.run_once()["expired"] == 0
+        assert jobs.get(job_id).state == "running"
+
+
+class TestCoordinatorRecovery:
+    """reconcile() repairs the torn states a dead coordinator leaves."""
+
+    def _finished_job(self, tmp_path) -> tuple[JobStore, str]:
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        Coordinator(tmp_path).run_once()
+        Worker(tmp_path, worker_id="w1").serve(
+            poll_seconds=0.01, idle_rounds=2
+        )
+        Coordinator(tmp_path).run_once()
+        assert jobs.get(job_id).state == "done"
+        return jobs, job_id
+
+    def test_running_without_manifest_is_requeued(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        Coordinator(tmp_path).run_once()
+        mf.manifest_path(tmp_path, job_id).unlink()
+        counts = Coordinator(tmp_path).reconcile()
+        assert counts == {"requeued": 1, "rebuilt": 0}
+        assert jobs.get(job_id).state == "submitted"
+        # The next pass re-expands deterministically and completes.
+        Coordinator(tmp_path).run_once()
+        Worker(tmp_path, worker_id="w2").serve(
+            poll_seconds=0.01, idle_rounds=2
+        )
+        Coordinator(tmp_path).run_once()
+        assert jobs.get(job_id).state == "done"
+
+    def test_done_without_result_is_refinalised(self, tmp_path):
+        jobs, job_id = self._finished_job(tmp_path)
+        reference = jobs.fetch(job_id)
+        jobs.result_path(job_id).unlink()
+        coordinator = Coordinator(tmp_path)
+        counts = coordinator.reconcile()
+        assert counts == {"requeued": 0, "rebuilt": 1}
+        assert jobs.get(job_id).state == "running"
+        coordinator.run_once()
+        rebuilt = jobs.fetch(job_id)
+        assert rebuilt.text == reference.text
+        assert rebuilt.data == reference.data
+
+    def test_healthy_tree_reconciles_to_zero(self, tmp_path):
+        _, _ = self._finished_job(tmp_path)
+        assert Coordinator(tmp_path).reconcile() == {
+            "requeued": 0, "rebuilt": 0,
+        }
+
+    def test_adopted_manifest_is_not_rewritten(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        Coordinator(tmp_path).run_once()
+        manifest_path = mf.manifest_path(tmp_path, job_id)
+        before = manifest_path.read_bytes()
+        # Simulate the mid-expand crash: record back to submitted with
+        # the manifest already durable.
+        jobs.update(jobs.get(job_id), state="submitted")
+        assert Coordinator(tmp_path).run_once()["expanded"] == 1
+        record = jobs.get(job_id)
+        assert record.state == "running"
+        assert record.cells_total > 0
+        assert manifest_path.read_bytes() == before
+
+
+class TestGracefulDrain:
+    """The first signal finishes in-flight work and exits cleanly."""
+
+    def test_predrained_worker_serves_nothing(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        Coordinator(tmp_path).run_once()
+        worker = Worker(tmp_path, worker_id="drained")
+        worker.request_drain()
+        assert worker.draining
+        assert worker.serve(poll_seconds=0.01, idle_rounds=99) == 0
+
+    def test_predrained_coordinator_returns_after_reconcile(
+        self, tmp_path
+    ):
+        coordinator = Coordinator(tmp_path)
+        coordinator.request_drain()
+        coordinator.serve(poll_seconds=0.01)  # returns immediately
+
+    @pytest.mark.slow
+    def test_sigterm_drains_worker_and_flushes_metrics(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        job_id = jobs.submit(
+            JobSpec(experiment="table2", n_tasks=_TASKS, quick=True)
+        )
+        Coordinator(tmp_path).run_once()
+        metrics_path = tmp_path / "drain.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        # The hang fault pins the victim inside a known cell so the
+        # signal provably lands mid-flight (see tools/smoke_lint.py for
+        # the same discipline in CI shell).
+        victim = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.evalx.service", "worker",
+                "--dir", str(tmp_path), "--worker-id", "draining",
+                "--ttl", "30", "--poll", "0.05",
+                "--metrics", str(metrics_path),
+                "--inject-faults", "hang(1.0)@gcc",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        store = CheckpointStore(tmp_path / "store", resume=True)
+        manifest = mf.read_manifest(tmp_path, job_id)
+        gcc = next(e for e in manifest.cells if e.label == "gcc")
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if store.lease_path_for(gcc.fingerprint).exists():
+                break
+            time.sleep(0.02)
+        victim.send_signal(signal.SIGTERM)
+        _, err = victim.communicate(timeout=120)
+        assert victim.returncode == 0, err
+        assert "drained after SIGTERM" in err
+        # The in-flight cell finished and its record was published.
+        assert store.has(gcc.fingerprint)
+        events = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        drains = [e for e in events if e.get("event") == "drain"]
+        assert len(drains) == 1
+        assert drains[0]["role"] == "worker"
+        assert drains[0]["signal"] == "SIGTERM"
+        # No lease was left behind: the normal path released it.
+        assert not store.leases()
+
+
+class TestJobAndDrainMetrics:
+    """The new RunMetrics event kinds serialise as documented."""
+
+    def test_job_event_schema(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with RunMetrics(path=path) as metrics:
+            metrics.job_event("j1", "cancelled", reason="operator")
+            metrics.job_event("j2", "deadline_expired")
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert events[0]["event"] == "job"
+        assert events[0]["job"] == "j1"
+        assert events[0]["action"] == "cancelled"
+        assert events[0]["reason"] == "operator"
+        assert events[1]["action"] == "deadline_expired"
+
+    def test_drain_event_schema(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with RunMetrics(path=path) as metrics:
+            metrics.drain_event("worker", "SIGTERM", served=3)
+            metrics.drain_event("coordinator", "SIGINT")
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert events[0] == {
+            **events[0],
+            "event": "drain",
+            "role": "worker",
+            "signal": "SIGTERM",
+            "served": 3,
+        }
+        assert events[1]["role"] == "coordinator"
+        assert "served" not in events[1] or events[1]["served"] is None

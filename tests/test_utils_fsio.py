@@ -28,30 +28,42 @@ from repro.utils.fsio import fsync_write_bytes, fsync_write_text
 
 
 class _FsyncSpy:
-    """Counts fsyncs and asserts replace never precedes them."""
+    """Counts fsyncs and asserts no publication precedes them.
+
+    A "publication" is either ``os.replace`` (last-writer-wins
+    records) or ``os.link`` (the fail markers' first-writer-wins
+    commit) — both atomically bind a committed name to the temp's
+    contents, so both need the temp fsynced first.
+    """
 
     def __init__(self, monkeypatch):
         self.synced = 0
-        self.synced_at_replace: list[int] = []
+        self.synced_at_publish: list[int] = []
         real_fsync = os.fsync
         real_replace = os.replace
+        real_link = os.link
 
         def fsync(fd):
             self.synced += 1
             real_fsync(fd)
 
         def replace(src, dst):
-            self.synced_at_replace.append(self.synced)
+            self.synced_at_publish.append(self.synced)
             return real_replace(src, dst)
+
+        def link(src, dst, **kwargs):
+            self.synced_at_publish.append(self.synced)
+            return real_link(src, dst, **kwargs)
 
         monkeypatch.setattr(os, "fsync", fsync)
         monkeypatch.setattr(os, "replace", replace)
+        monkeypatch.setattr(os, "link", link)
 
     def assert_fsync_before_every_replace(self):
-        assert self.synced_at_replace, "no os.replace publication ran"
-        assert all(n >= 1 for n in self.synced_at_replace), (
-            "os.replace ran before any fsync: "
-            f"{self.synced_at_replace}"
+        assert self.synced_at_publish, "no publication ran"
+        assert all(n >= 1 for n in self.synced_at_publish), (
+            "a publication ran before any fsync: "
+            f"{self.synced_at_publish}"
         )
 
 
